@@ -1,0 +1,58 @@
+// Figure 5c: batch vs. approximate query latency for KMeans over the
+// evolving point stream. Same methodology as Figure 5a, but the expected
+// shape differs from SSSP/PageRank (Section 6.2.1): because every branch
+// loop re-evaluates all points against the centroids regardless of how
+// good the initial guess is, the approximate method's latency roughly
+// equals the smallest batch's — KMeans does not profit from the
+// approximation.
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "common/logging.h"
+#include "stream/point_stream.h"
+
+namespace tornado {
+namespace bench {
+namespace {
+
+constexpr uint64_t kTuples = 16000;
+constexpr uint64_t kWarmup = kTuples * 3 / 10;
+constexpr double kRate = 3000.0;
+
+void Run() {
+  PrintHeader("Batch vs. approximate methods - KMeans", "Figure 5c");
+
+  JobConfig config = KMeansJob(/*delay_bound=*/64);
+  config.cost.progress_period = 2e-3;
+  StreamFactory stream = []() {
+    return std::make_unique<PointStream>(BenchPoints(kTuples));
+  };
+
+  Table table({"method", "batch tuples", "queries", "p99 latency (s)",
+               "mean (s)"});
+  for (uint64_t batch : {3200u, 1600u, 640u, 320u, 160u}) {
+    Histogram h =
+        RunBatchSeries(config, stream, kWarmup, kTuples, batch, kRate,
+                       /*max_queries=*/12);
+    table.AddRow({"Batch", Table::Int(batch), Table::Int(h.count()),
+                  Table::Num(h.Percentile(99), 3), Table::Num(h.Mean(), 3)});
+  }
+  Histogram approx = RunApproximateSeries(config, stream, kWarmup, kTuples,
+                                          /*query_every=*/1600, kRate,
+                                          /*max_queries=*/12);
+  table.AddRow({"Approximate", "-", Table::Int(approx.count()),
+                Table::Num(approx.Percentile(99), 3),
+                Table::Num(approx.Mean(), 3)});
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tornado
+
+int main() {
+  tornado::SetLogLevel(tornado::LogLevel::kWarning);
+  tornado::bench::Run();
+  return 0;
+}

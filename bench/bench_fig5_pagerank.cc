@@ -1,0 +1,57 @@
+// Figure 5b: batch vs. approximate query latency for PageRank over the
+// evolving power-law edge stream. Same methodology as Figure 5a (see
+// bench_fig5_sssp.cc); expected shape: batch latencies fall quickly at
+// first but stabilize (each incremental recomputation still sweeps the
+// whole graph), and the approximate method achieves the lowest latency.
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "common/logging.h"
+#include "stream/graph_stream.h"
+
+namespace tornado {
+namespace bench {
+namespace {
+
+constexpr uint64_t kTuples = 30000;
+constexpr uint64_t kWarmup = kTuples * 3 / 10;
+constexpr double kRate = 1500.0;
+
+void Run() {
+  PrintHeader("Batch vs. approximate methods - PageRank", "Figure 5b");
+
+  JobConfig config = PageRankJob(/*delay_bound=*/64);
+  config.program = std::make_shared<PageRankProgram>(0.85, 3e-3);
+  config.cost.progress_period = 2e-3;
+  StreamFactory stream = []() {
+    return std::make_unique<GraphStream>(BenchGraph(kTuples, /*seed=*/5));
+  };
+
+  Table table({"method", "batch tuples", "queries", "p99 latency (s)",
+               "mean (s)"});
+  for (uint64_t batch : {10500u, 5250u, 2100u, 1050u, 525u}) {
+    Histogram h =
+        RunBatchSeries(config, stream, kWarmup, kTuples, batch, kRate,
+                       /*max_queries=*/12);
+    table.AddRow({"Batch", Table::Int(batch), Table::Int(h.count()),
+                  Table::Num(h.Percentile(99), 3), Table::Num(h.Mean(), 3)});
+  }
+  Histogram approx = RunApproximateSeries(config, stream, kWarmup, kTuples,
+                                          /*query_every=*/2100, kRate,
+                                          /*max_queries=*/12);
+  table.AddRow({"Approximate", "-", Table::Int(approx.count()),
+                Table::Num(approx.Percentile(99), 3),
+                Table::Num(approx.Mean(), 3)});
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tornado
+
+int main() {
+  tornado::SetLogLevel(tornado::LogLevel::kWarning);
+  tornado::bench::Run();
+  return 0;
+}

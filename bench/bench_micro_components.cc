@@ -1,0 +1,127 @@
+// Microbenchmarks (google-benchmark) of the substrates: versioned store,
+// event loop, transport, serialization, stream generation, reservoir
+// sampling. These measure real wall-clock performance of the library
+// components, complementing the virtual-time experiment benches.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "common/serde.h"
+#include "net/network.h"
+#include "sim/event_loop.h"
+#include "storage/versioned_store.h"
+#include "stream/graph_stream.h"
+#include "stream/reservoir.h"
+
+namespace tornado {
+namespace {
+
+void BM_VersionedStorePut(benchmark::State& state) {
+  VersionedStore store;
+  std::vector<uint8_t> value(64, 7);
+  Iteration iter = 0;
+  for (auto _ : state) {
+    store.Put(0, iter % 1024, iter, value);
+    ++iter;
+    if (iter % 65536 == 0) store.PruneBelow(0, iter - 10);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VersionedStorePut);
+
+void BM_VersionedStoreSnapshotGet(benchmark::State& state) {
+  VersionedStore store;
+  std::vector<uint8_t> value(64, 7);
+  for (VertexId v = 0; v < 1024; ++v) {
+    for (Iteration i = 0; i < 16; ++i) store.Put(0, v, i * 3, value);
+  }
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        store.Get(0, rng.NextUint64(1024), rng.NextUint64(48)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VersionedStoreSnapshotGet);
+
+void BM_EventLoopScheduleFire(benchmark::State& state) {
+  EventLoop loop;
+  int sink = 0;
+  for (auto _ : state) {
+    loop.Schedule(0.001, [&sink]() { ++sink; });
+    loop.Step();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventLoopScheduleFire);
+
+struct NullPayload : Payload {
+  const char* name() const override { return "Null"; }
+};
+
+class NullNode : public Node {
+ public:
+  void OnMessage(NodeId, const Payload&) override { ++received; }
+  uint64_t received = 0;
+};
+
+void BM_NetworkReliableMessage(benchmark::State& state) {
+  EventLoop loop;
+  Network network(&loop, CostModel{}, 3);
+  NullNode a, b;
+  network.RegisterNode(&a, 0);
+  network.RegisterNode(&b, 1);
+  auto payload = std::make_shared<NullPayload>();
+  for (auto _ : state) {
+    network.Send(0, 1, payload, /*reliable=*/true);
+    loop.Run();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NetworkReliableMessage);
+
+void BM_SerdeVertexRecordRoundTrip(benchmark::State& state) {
+  std::vector<double> values(32, 3.14);
+  std::vector<uint64_t> targets{1, 2, 3, 4, 5, 6, 7, 8};
+  for (auto _ : state) {
+    BufferWriter w;
+    w.PutDoubleVec(values);
+    w.PutU64Vec(targets);
+    BufferReader r(w.data());
+    std::vector<double> dv;
+    std::vector<uint64_t> tv;
+    benchmark::DoNotOptimize(r.GetDoubleVec(&dv).ok());
+    benchmark::DoNotOptimize(r.GetU64Vec(&tv).ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SerdeVertexRecordRoundTrip);
+
+void BM_GraphStreamGenerate(benchmark::State& state) {
+  GraphStreamOptions options;
+  options.num_tuples = ~0ULL;  // unbounded for the benchmark
+  GraphStream stream(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stream.Next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GraphStreamGenerate);
+
+void BM_ReservoirOffer(benchmark::State& state) {
+  ReservoirSampler<uint64_t> sampler(1024, 5);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    sampler.Offer(i++);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReservoirOffer);
+
+}  // namespace
+}  // namespace tornado
+
+BENCHMARK_MAIN();

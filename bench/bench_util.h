@@ -1,0 +1,95 @@
+#ifndef TORNADO_BENCH_BENCH_UTIL_H_
+#define TORNADO_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <functional>
+
+#include "algos/kmeans.h"
+#include "algos/pagerank.h"
+#include "algos/sgd.h"
+#include "algos/sssp.h"
+#include "common/histogram.h"
+#include "core/cluster.h"
+#include "stream/graph_stream.h"
+#include "stream/instance_stream.h"
+#include "stream/point_stream.h"
+
+namespace tornado {
+namespace bench {
+
+/// Fixed-width table printer for paper-style outputs.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  void Print() const;
+
+  static std::string Num(double v, int precision = 2);
+  static std::string Int(uint64_t v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+void PrintHeader(const std::string& title, const std::string& paper_ref);
+
+/// Canonical workload scales used across the benches. These are the
+/// scaled-down stand-ins for the paper's datasets (Table 1); DESIGN.md
+/// documents the substitution.
+GraphStreamOptions BenchGraph(uint64_t tuples = 40000, uint64_t seed = 42);
+PointStreamOptions BenchPoints(uint64_t tuples = 20000, uint64_t seed = 7);
+InstanceStreamOptions BenchDense(uint64_t tuples = 20000, uint64_t seed = 13);
+InstanceStreamOptions BenchSparse(uint64_t tuples = 20000, uint64_t seed = 13);
+
+inline constexpr VertexId kBenchSsspSource = 0;
+
+/// Job configurations wired to the canonical workloads.
+JobConfig SsspJob(uint64_t delay_bound, bool batch_mode = false);
+JobConfig PageRankJob(uint64_t delay_bound);
+JobConfig KMeansJob(uint64_t delay_bound);
+JobConfig SgdJob(SgdLoss loss, uint64_t delay_bound, double descent_rate,
+                 DescentSchedule schedule = DescentSchedule::kStatic,
+                 bool batch_mode = false, double sample_ratio = 0.01);
+
+/// Runs the cluster until `count` tuples are ingested, then submits a
+/// query and returns its latency (virtual seconds), or -1 on timeout.
+double MeasureQueryLatency(TornadoCluster& cluster, double timeout = 3000.0);
+
+/// Factory for the (identically-seeded) input stream of one run.
+using StreamFactory = std::function<std::unique_ptr<StreamSource>()>;
+
+/// Figure 5 driver: the mini-batch method and the approximate method run
+/// the *same* engine and configuration; they differ only in arrival shape
+/// (Section 6.2.1).
+///
+/// Batch,N: tuples arrive in bursts of N; the query fires the moment the
+/// burst has been gathered, so the branch loop must resolve the whole
+/// batch — its initial guess is the fixed point from N tuples ago.
+///
+/// Approximate: tuples arrive smoothly at `rate`; the main loop absorbs
+/// them continuously, so a query's branch loop only resolves the last
+/// iteration's un-reflected inputs.
+///
+/// Returns the latency histogram over the queries at the given boundaries.
+Histogram RunBatchSeries(const JobConfig& config, const StreamFactory& stream,
+                         uint64_t warmup, uint64_t total, uint64_t batch_size,
+                         double rate, size_t max_queries = 20);
+Histogram RunApproximateSeries(const JobConfig& config,
+                               const StreamFactory& stream, uint64_t warmup,
+                               uint64_t total, uint64_t query_every,
+                               double rate, size_t max_queries = 20);
+
+/// Reads the main-loop or branch-loop SGD model.
+std::vector<double> ReadSgdWeights(const TornadoCluster& cluster, LoopId loop);
+
+}  // namespace bench
+}  // namespace tornado
+
+#endif  // TORNADO_BENCH_BENCH_UTIL_H_

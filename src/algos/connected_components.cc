@@ -1,0 +1,148 @@
+#include "algos/connected_components.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace tornado {
+
+namespace {
+constexpr int kLabel = 0;
+}  // namespace
+
+void ComponentState::Serialize(BufferWriter* writer) const {
+  writer->PutVarint(label);
+  writer->PutU8(initialized ? 1 : 0);
+  writer->PutVarint(neighbors.size());
+  for (const auto& [v, count] : neighbors) {
+    writer->PutVarint(v);
+    writer->PutVarint(count);
+  }
+  writer->PutVarint(neighbor_labels.size());
+  for (const auto& [v, l] : neighbor_labels) {
+    writer->PutVarint(v);
+    writer->PutVarint(l);
+  }
+  writer->PutVarint(last_sent.size());
+  for (const auto& [v, l] : last_sent) {
+    writer->PutVarint(v);
+    writer->PutVarint(l);
+  }
+}
+
+VertexId ComponentState::Recompute(VertexId self) {
+  VertexId best = self;
+  for (const auto& [v, l] : neighbor_labels) best = std::min(best, l);
+  label = best;
+  return label;
+}
+
+std::unique_ptr<VertexState> ConnectedComponentsProgram::CreateState(
+    VertexId id) const {
+  auto state = std::make_unique<ComponentState>();
+  state->label = id;
+  return state;
+}
+
+std::unique_ptr<VertexState> ConnectedComponentsProgram::DeserializeState(
+    BufferReader* reader) const {
+  auto state = std::make_unique<ComponentState>();
+  uint64_t n = 0;
+  uint8_t flag = 0;
+  TCHECK(reader->GetVarint(&state->label).ok());
+  TCHECK(reader->GetU8(&flag).ok());
+  state->initialized = flag != 0;
+  TCHECK(reader->GetVarint(&n).ok());
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t v = 0, count = 0;
+    TCHECK(reader->GetVarint(&v).ok());
+    TCHECK(reader->GetVarint(&count).ok());
+    state->neighbors[v] = static_cast<uint32_t>(count);
+  }
+  TCHECK(reader->GetVarint(&n).ok());
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t v = 0, l = 0;
+    TCHECK(reader->GetVarint(&v).ok());
+    TCHECK(reader->GetVarint(&l).ok());
+    state->neighbor_labels[v] = l;
+  }
+  TCHECK(reader->GetVarint(&n).ok());
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t v = 0, l = 0;
+    TCHECK(reader->GetVarint(&v).ok());
+    TCHECK(reader->GetVarint(&l).ok());
+    state->last_sent[v] = l;
+  }
+  return state;
+}
+
+bool ConnectedComponentsProgram::OnInput(VertexContext& ctx,
+                                         const Delta& delta) const {
+  const auto* edge = std::get_if<EdgeDelta>(&delta);
+  TCHECK(edge != nullptr) << "connected components consumes edge streams";
+  auto& state = static_cast<ComponentState&>(*ctx.state());
+  // The router sends each edge to both endpoints; figure out our peer.
+  const VertexId peer = edge->src == ctx.id() ? edge->dst : edge->src;
+  if (peer == ctx.id()) return false;  // self-loops are irrelevant
+
+  if (edge->insert) {
+    state.neighbors[peer]++;
+    ctx.AddTarget(peer);
+    return true;
+  }
+  auto it = state.neighbors.find(peer);
+  if (it == state.neighbors.end()) return false;
+  if (--it->second == 0) {
+    state.neighbors.erase(it);
+    state.neighbor_labels.erase(peer);
+    ctx.RemoveTarget(peer);
+    state.Recompute(ctx.id());
+  }
+  return true;
+}
+
+bool ConnectedComponentsProgram::OnUpdate(VertexContext& ctx, VertexId source,
+                                          Iteration iteration,
+                                          const VertexUpdate& update) const {
+  (void)iteration;
+  TCHECK_EQ(update.kind, kLabel);
+  auto& state = static_cast<ComponentState&>(*ctx.state());
+  const auto label = static_cast<VertexId>(update.values[0]);
+  auto [it, inserted] = state.neighbor_labels.emplace(source, label);
+  const bool changed = inserted || it->second != label;
+  it->second = label;
+  state.Recompute(ctx.id());
+  return changed;
+}
+
+void ConnectedComponentsProgram::Scatter(VertexContext& ctx) const {
+  auto& state = static_cast<ComponentState&>(*ctx.state());
+  state.Recompute(ctx.id());
+  state.initialized = true;
+  uint64_t changed = 0;
+  for (VertexId target : ctx.targets()) {
+    auto sent = state.last_sent.find(target);
+    if (sent != state.last_sent.end() && sent->second == state.label) {
+      continue;
+    }
+    VertexUpdate update;
+    update.kind = kLabel;
+    update.values.push_back(static_cast<double>(state.label));
+    ctx.EmitTo(target, update);
+    state.last_sent[target] = state.label;
+    ++changed;
+  }
+  for (VertexId target : ctx.retiring_targets()) {
+    state.last_sent.erase(target);
+  }
+  ctx.AddProgress(static_cast<double>(changed));
+}
+
+void ConnectedComponentsProgram::OnRestore(VertexState* state) const {
+  auto& cc = static_cast<ComponentState&>(*state);
+  for (auto& [target, sent] : cc.last_sent) {
+    sent = kNoIteration;  // impossible label: forces re-emission
+  }
+}
+
+}  // namespace tornado

@@ -1,0 +1,62 @@
+#ifndef TORNADO_ALGOS_PAGERANK_H_
+#define TORNADO_ALGOS_PAGERANK_H_
+
+#include <map>
+
+#include "core/vertex_program.h"
+
+namespace tornado {
+
+/// Per-vertex PageRank state.
+struct PageRankState : VertexState {
+  /// Unnormalized rank: r = (1 - d) + d * sum of incoming contributions.
+  /// (The N-free formulation standard in vertex-centric engines; dividing
+  /// by the vertex count recovers the probabilistic PageRank.)
+  double rank = 1.0;
+
+  /// Outgoing multigraph edges: target -> parallel edge count.
+  std::map<VertexId, uint32_t> edge_counts;
+  uint64_t out_degree = 0;  // total outgoing edge count
+
+  /// Incoming contributions by producer.
+  std::map<VertexId, double> contributions;
+
+  /// Last contribution emitted per target (suppresses no-op re-emissions;
+  /// changes below the program tolerance are not propagated, which is what
+  /// lets the asynchronous loop quiesce).
+  std::map<VertexId, double> last_sent;
+
+  void Serialize(BufferWriter* writer) const override;
+
+  double Recompute(double damping);
+};
+
+/// Incremental PageRank over a retractable edge stream (Figures 5b, 9,
+/// Table 3). The main loop keeps relaxing ranks as edges arrive — the
+/// approximation whose error the branch loops resolve.
+class PageRankProgram : public VertexProgram {
+ public:
+  explicit PageRankProgram(double damping = 0.85, double tolerance = 1e-3)
+      : damping_(damping), tolerance_(tolerance) {}
+
+  std::unique_ptr<VertexState> CreateState(VertexId id) const override;
+  std::unique_ptr<VertexState> DeserializeState(
+      BufferReader* reader) const override;
+
+  bool OnInput(VertexContext& ctx, const Delta& delta) const override;
+  bool OnUpdate(VertexContext& ctx, VertexId source, Iteration iteration,
+                const VertexUpdate& update) const override;
+  void Scatter(VertexContext& ctx) const override;
+  void OnRestore(VertexState* state) const override;
+
+  double damping() const { return damping_; }
+  double tolerance() const { return tolerance_; }
+
+ private:
+  double damping_;
+  double tolerance_;
+};
+
+}  // namespace tornado
+
+#endif  // TORNADO_ALGOS_PAGERANK_H_

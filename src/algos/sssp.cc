@@ -1,0 +1,176 @@
+#include "algos/sssp.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace tornado {
+
+namespace {
+constexpr int kDistanceUpdate = 0;
+
+/// Doubles survive raw round-trips including infinity, but map keys do not
+/// need that care; serialize pairs directly.
+void PutDoubleMap(BufferWriter* w, const std::map<VertexId, double>& m) {
+  w->PutVarint(m.size());
+  for (const auto& [k, v] : m) {
+    w->PutVarint(k);
+    w->PutDouble(v);
+  }
+}
+
+bool GetDoubleMap(BufferReader* r, std::map<VertexId, double>* m) {
+  uint64_t n = 0;
+  if (!r->GetVarint(&n).ok()) return false;
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t k = 0;
+    double v = 0;
+    if (!r->GetVarint(&k).ok() || !r->GetDouble(&v).ok()) return false;
+    (*m)[k] = v;
+  }
+  return true;
+}
+}  // namespace
+
+void SsspState::Serialize(BufferWriter* writer) const {
+  writer->PutDouble(length);
+  writer->PutVarint(out_edges.size());
+  for (const auto& [dst, weights] : out_edges) {
+    writer->PutVarint(dst);
+    writer->PutDoubleVec(weights);
+  }
+  PutDoubleMap(writer, candidates);
+  PutDoubleMap(writer, last_sent);
+}
+
+double SsspState::Recompute(bool is_source) {
+  double best = is_source ? 0.0 : kSsspInfinity;
+  for (const auto& [producer, candidate] : candidates) {
+    best = std::min(best, candidate);
+  }
+  length = best;
+  return length;
+}
+
+std::unique_ptr<VertexState> SsspProgram::CreateState(VertexId id) const {
+  auto state = std::make_unique<SsspState>();
+  state->length = id == source_ ? 0.0 : kSsspInfinity;
+  return state;
+}
+
+std::unique_ptr<VertexState> SsspProgram::DeserializeState(
+    BufferReader* reader) const {
+  auto state = std::make_unique<SsspState>();
+  TCHECK(reader->GetDouble(&state->length).ok());
+  uint64_t n = 0;
+  TCHECK(reader->GetVarint(&n).ok());
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t dst = 0;
+    std::vector<double> weights;
+    TCHECK(reader->GetVarint(&dst).ok());
+    TCHECK(reader->GetDoubleVec(&weights).ok());
+    state->out_edges.emplace(dst, std::move(weights));
+  }
+  TCHECK(GetDoubleMap(reader, &state->candidates));
+  TCHECK(GetDoubleMap(reader, &state->last_sent));
+  return state;
+}
+
+bool SsspProgram::OnInput(VertexContext& ctx, const Delta& delta) const {
+  const auto* edge = std::get_if<EdgeDelta>(&delta);
+  TCHECK(edge != nullptr) << "SSSP consumes edge streams";
+  auto& state = static_cast<SsspState&>(*ctx.state());
+  if (edge->insert) {
+    state.out_edges[edge->dst].push_back(edge->weight);
+    ctx.AddTarget(edge->dst);
+    return true;
+  }
+  auto it = state.out_edges.find(edge->dst);
+  if (it == state.out_edges.end()) return false;  // unknown edge retracted
+  auto& weights = it->second;
+  auto w = std::find(weights.begin(), weights.end(), edge->weight);
+  bool changed = false;
+  if (w != weights.end()) {
+    *w = weights.back();
+    weights.pop_back();
+    changed = true;
+  }
+  if (weights.empty()) {
+    state.out_edges.erase(it);
+    ctx.RemoveTarget(edge->dst);
+  }
+  return changed;
+}
+
+bool SsspProgram::OnUpdate(VertexContext& ctx, VertexId source,
+                           Iteration iteration,
+                           const VertexUpdate& update) const {
+  (void)iteration;
+  TCHECK_EQ(update.kind, kDistanceUpdate);
+  TCHECK_EQ(update.values.size(), 1u);
+  auto& state = static_cast<SsspState&>(*ctx.state());
+  const double candidate = update.values[0];
+  bool changed;
+  if (candidate >= max_distance_) {
+    // Path through `source` retracted.
+    changed = state.candidates.erase(source) > 0;
+  } else {
+    auto [it, inserted] = state.candidates.emplace(source, candidate);
+    changed = inserted || it->second != candidate;
+    it->second = candidate;
+  }
+  state.Recompute(ctx.id() == source_);
+  return changed;
+}
+
+void SsspProgram::OnRestore(VertexState* state) const {
+  auto& sssp = static_cast<SsspState&>(*state);
+  for (auto& [target, sent] : sssp.last_sent) {
+    sent = std::numeric_limits<double>::quiet_NaN();  // != any candidate
+  }
+}
+
+void SsspProgram::Scatter(VertexContext& ctx) const {
+  auto& state = static_cast<SsspState&>(*ctx.state());
+  if (batch_mode_ && ctx.is_main_loop()) return;
+
+  state.Recompute(ctx.id() == source_);
+
+  uint64_t changed = 0;
+  for (VertexId target : ctx.targets()) {
+    auto edges = state.out_edges.find(target);
+    double candidate = kSsspInfinity;
+    if (edges != state.out_edges.end() && !edges->second.empty() &&
+        state.length != kSsspInfinity) {
+      const double min_w =
+          *std::min_element(edges->second.begin(), edges->second.end());
+      candidate = state.length + min_w;
+      if (candidate >= max_distance_) candidate = kSsspInfinity;
+    }
+    auto sent = state.last_sent.find(target);
+    if (sent != state.last_sent.end() && sent->second == candidate) continue;
+    if (sent == state.last_sent.end() && candidate == kSsspInfinity) continue;
+    VertexUpdate update;
+    update.kind = kDistanceUpdate;
+    update.values.push_back(candidate);
+    ctx.EmitTo(target, update);
+    state.last_sent[target] = candidate;
+    ++changed;
+  }
+  // Consumers we dropped since the last commit observe the retraction.
+  for (VertexId target : ctx.retiring_targets()) {
+    auto sent = state.last_sent.find(target);
+    if (sent == state.last_sent.end()) continue;
+    if (sent->second != kSsspInfinity) {
+      VertexUpdate update;
+      update.kind = kDistanceUpdate;
+      update.values.push_back(kSsspInfinity);
+      ctx.EmitTo(target, update);
+      ++changed;
+    }
+    state.last_sent.erase(sent);
+  }
+  ctx.AddProgress(static_cast<double>(changed));
+}
+
+}  // namespace tornado

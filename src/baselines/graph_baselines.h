@@ -1,0 +1,89 @@
+#ifndef TORNADO_BASELINES_GRAPH_BASELINES_H_
+#define TORNADO_BASELINES_GRAPH_BASELINES_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "baselines/baseline.h"
+#include "baselines/solvers.h"
+#include "graph/dynamic_graph.h"
+
+namespace tornado {
+
+/// SSSP under the four comparator execution models. Results are always
+/// exact (Dijkstra); latency follows the model:
+///
+///  Spark:    load everything + depth synchronous sweeps over all edges,
+///            each materialized to disk, each with a barrier.
+///  GraphLab: load everything + one asynchronous in-memory relaxation pass.
+///  Naiad:    incremental — work proportional to the changed region plus
+///            difference-trace combination that grows with accumulated
+///            epochs (Section 6.5: "the decomposition degrades the
+///            performance as well").
+///  Incremental ("Batch,N"): relax only the changed region from the last
+///            fixed point, but pay the per-batch scheduling/communication
+///            floor that keeps tiny batches from getting faster (the
+///            flattening in Figure 5a).
+class SsspBaseline : public BaselineEngine {
+ public:
+  SsspBaseline(ExecutionModel model, VertexId source, BaselineCostModel cost)
+      : model_(model), source_(source), cost_(cost) {}
+
+  std::string name() const override;
+  void Ingest(const StreamTuple& tuple) override;
+  BaselineResult Query() override;
+
+  const std::unordered_map<VertexId, double>& last_result() const {
+    return previous_.dist;
+  }
+
+ private:
+  ExecutionModel model_;
+  VertexId source_;
+  BaselineCostModel cost_;
+  DynamicGraph graph_;
+  uint64_t tuples_ = 0;
+  uint64_t pending_tuples_ = 0;  // ingested since the last query
+  uint64_t epochs_ = 0;
+  uint64_t trace_records_ = 0;
+  SsspSolution previous_;
+  bool has_previous_ = false;
+};
+
+/// PageRank under the four models. Incremental flavours warm-start the
+/// Jacobi sweeps from the previous ranks — fewer sweeps, but every sweep
+/// still touches all edges, which is why incrementality helps PageRank far
+/// less than SSSP (Section 1: the update time "is proportional to the
+/// current graph size, but not the number of updated edges").
+class PageRankBaseline : public BaselineEngine {
+ public:
+  PageRankBaseline(ExecutionModel model, double damping, double tolerance,
+                   BaselineCostModel cost)
+      : model_(model), damping_(damping), tolerance_(tolerance), cost_(cost) {}
+
+  std::string name() const override;
+  void Ingest(const StreamTuple& tuple) override;
+  BaselineResult Query() override;
+
+  const std::unordered_map<VertexId, double>& last_result() const {
+    return previous_.rank;
+  }
+
+ private:
+  ExecutionModel model_;
+  double damping_;
+  double tolerance_;
+  BaselineCostModel cost_;
+  DynamicGraph graph_;
+  uint64_t tuples_ = 0;
+  uint64_t pending_tuples_ = 0;
+  uint64_t epochs_ = 0;
+  uint64_t trace_records_ = 0;
+  uint64_t cumulative_iterations_ = 0;
+  PageRankSolution previous_;
+  bool has_previous_ = false;
+};
+
+}  // namespace tornado
+
+#endif  // TORNADO_BASELINES_GRAPH_BASELINES_H_

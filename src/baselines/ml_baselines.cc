@@ -1,0 +1,173 @@
+#include "baselines/ml_baselines.h"
+
+#include "common/logging.h"
+
+namespace tornado {
+
+// ---------------------------------------------------------------------------
+// KMeans
+// ---------------------------------------------------------------------------
+
+std::string KMeansBaseline::name() const {
+  return std::string(ExecutionModelName(model_)) + "/KMeans";
+}
+
+void KMeansBaseline::Ingest(const StreamTuple& tuple) {
+  const auto& point = std::get<PointDelta>(tuple.delta);
+  if (point.insert) {
+    points_[point.id] = point.coords;
+  } else {
+    points_.erase(point.id);
+  }
+  ++tuples_;
+}
+
+std::vector<std::vector<double>> KMeansBaseline::InitialCentroids() {
+  // k random surviving points (Forgy initialization).
+  std::vector<std::vector<double>> centroids;
+  if (points_.empty()) return centroids;
+  std::vector<const std::vector<double>*> flat;
+  flat.reserve(points_.size());
+  for (const auto& [id, coords] : points_) flat.push_back(&coords);
+  for (uint32_t k = 0; k < clusters_; ++k) {
+    centroids.push_back(*flat[rng_.NextUint64(flat.size())]);
+  }
+  return centroids;
+}
+
+BaselineResult KMeansBaseline::Query() {
+  BaselineResult result;
+  const double w = static_cast<double>(cost_.workers);
+  const bool warm = has_previous_ && model_ != ExecutionModel::kSparkLike &&
+                    model_ != ExecutionModel::kGraphLabLike;
+  KMeansSolution solution = SolveKMeans(
+      points_, warm ? previous_.centroids : InitialCentroids(), tolerance_);
+
+  // One distance evaluation per point per centroid per iteration.
+  const double distance_evals = static_cast<double>(solution.point_scans) *
+                                static_cast<double>(clusters_);
+  const double compute = distance_evals * cost_.per_update / 8.0 / w;
+
+  result.iterations = solution.iterations;
+  result.work_updates = solution.point_scans;
+  result.messages = solution.iterations * clusters_ * cost_.workers;
+
+  switch (model_) {
+    case ExecutionModel::kSparkLike:
+      result.latency =
+          static_cast<double>(tuples_) * cost_.per_tuple_load / w + compute +
+          static_cast<double>(solution.iterations) *
+              (static_cast<double>(points_.size()) * cost_.per_record_spill /
+                   w +
+               cost_.per_iteration_barrier);
+      break;
+    case ExecutionModel::kGraphLabLike:
+      result.latency =
+          static_cast<double>(tuples_) * cost_.per_tuple_load / w + compute +
+          2.0 * cost_.per_iteration_barrier;
+      break;
+    case ExecutionModel::kNaiadLike: {
+      // Differential KMeans retains per-(epoch, iteration) traces over the
+      // point assignments; the footprint grows multiplicatively and blows
+      // the budget (the paper's "-" cells).
+      trace_records_ += points_.size() * solution.iterations;
+      if (trace_records_ > cost_.trace_memory_cap) {
+        result.ok = false;
+        result.error = "difference traces exceeded the memory budget";
+        return result;
+      }
+      result.latency =
+          compute +
+          static_cast<double>(trace_records_) * cost_.per_trace_unit / w;
+      break;
+    }
+    case ExecutionModel::kIncremental:
+      // Warm start saves iterations but each remaining iteration still
+      // rescans every point.
+      result.latency =
+          compute + static_cast<double>(solution.iterations) *
+                        cost_.per_iteration_barrier;
+      break;
+  }
+
+  previous_ = std::move(solution);
+  has_previous_ = true;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// SVM / LR
+// ---------------------------------------------------------------------------
+
+std::string SgdBaseline::name() const {
+  return std::string(ExecutionModelName(model_)) +
+         (loss_ == SgdLoss::kSvmHinge ? "/SVM" : "/LR");
+}
+
+void SgdBaseline::Ingest(const StreamTuple& tuple) {
+  const auto& delta = std::get<InstanceDelta>(tuple.delta);
+  if (!delta.insert) return;
+  SgdInstance inst;
+  inst.id = delta.id;
+  inst.label = delta.label;
+  inst.features = delta.features;
+  instances_.push_back(std::move(inst));
+}
+
+BaselineResult SgdBaseline::Query() {
+  BaselineResult result;
+  const double w = static_cast<double>(cost_.workers);
+  const bool warm = has_previous_ && model_ != ExecutionModel::kSparkLike &&
+                    model_ != ExecutionModel::kGraphLabLike;
+  SgdSolution solution = SolveSgd(
+      instances_, loss_, regularization_, rate_,
+      warm ? previous_.weights : std::vector<double>(dimensions_, 0.0),
+      solve_tolerance_);
+
+  const double compute =
+      static_cast<double>(solution.gradient_terms) * cost_.per_update / 6.0 /
+      w;
+  result.iterations = solution.iterations;
+  result.work_updates = solution.gradient_terms;
+  result.messages = solution.iterations * cost_.workers;
+
+  switch (model_) {
+    case ExecutionModel::kSparkLike:
+      result.latency =
+          static_cast<double>(instances_.size()) * cost_.per_tuple_load / w +
+          compute +
+          static_cast<double>(solution.iterations) *
+              (static_cast<double>(instances_.size()) *
+                   cost_.per_record_spill / w / 8.0 +
+               cost_.per_iteration_barrier);
+      break;
+    case ExecutionModel::kGraphLabLike:
+      result.latency =
+          static_cast<double>(instances_.size()) * cost_.per_tuple_load / w +
+          compute + 2.0 * cost_.per_iteration_barrier;
+      break;
+    case ExecutionModel::kNaiadLike: {
+      trace_records_ += solution.iterations * dimensions_ +
+                        instances_.size() / 8;
+      if (trace_records_ > cost_.trace_memory_cap) {
+        result.ok = false;
+        result.error = "difference traces exceeded the memory budget";
+        return result;
+      }
+      result.latency =
+          compute +
+          static_cast<double>(trace_records_) * cost_.per_trace_unit / w;
+      break;
+    }
+    case ExecutionModel::kIncremental:
+      result.latency = compute + static_cast<double>(solution.iterations) *
+                                     cost_.per_iteration_barrier;
+      break;
+  }
+
+  previous_ = std::move(solution);
+  has_previous_ = true;
+  return result;
+}
+
+}  // namespace tornado

@@ -1,0 +1,95 @@
+#ifndef TORNADO_BASELINES_ML_BASELINES_H_
+#define TORNADO_BASELINES_ML_BASELINES_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baselines/baseline.h"
+#include "baselines/solvers.h"
+#include "common/rng.h"
+
+namespace tornado {
+
+/// KMeans under the four comparator models. Every model pays full Lloyd
+/// passes over all points — incrementality only saves iterations, which is
+/// why "the initial guesses with less approximation error do not help
+/// reduce the latencies" (Section 6.2.1, Figure 5c). The Naiad-like
+/// engine's difference traces over (points x iterations) blow through the
+/// memory cap, reproducing the "-" cells of Table 3.
+class KMeansBaseline : public BaselineEngine {
+ public:
+  KMeansBaseline(ExecutionModel model, uint32_t clusters, uint32_t dimensions,
+                 double tolerance, BaselineCostModel cost, uint64_t seed = 5)
+      : model_(model),
+        clusters_(clusters),
+        dimensions_(dimensions),
+        tolerance_(tolerance),
+        cost_(cost),
+        rng_(seed) {}
+
+  std::string name() const override;
+  void Ingest(const StreamTuple& tuple) override;
+  BaselineResult Query() override;
+
+  const std::vector<std::vector<double>>& last_centroids() const {
+    return previous_.centroids;
+  }
+
+ private:
+  std::vector<std::vector<double>> InitialCentroids();
+
+  ExecutionModel model_;
+  uint32_t clusters_;
+  uint32_t dimensions_;
+  double tolerance_;
+  BaselineCostModel cost_;
+  Rng rng_;
+  std::map<uint64_t, std::vector<double>> points_;
+  uint64_t tuples_ = 0;
+  uint64_t trace_records_ = 0;
+  KMeansSolution previous_;
+  bool has_previous_ = false;
+};
+
+/// SVM / logistic regression under the four comparator models: full-batch
+/// gradient descent over all collected instances, warm-started for the
+/// incremental flavours.
+class SgdBaseline : public BaselineEngine {
+ public:
+  SgdBaseline(ExecutionModel model, SgdLoss loss, uint32_t dimensions,
+              double rate, double regularization, BaselineCostModel cost,
+              double solve_tolerance = 1e-2)
+      : model_(model),
+        loss_(loss),
+        dimensions_(dimensions),
+        rate_(rate),
+        regularization_(regularization),
+        solve_tolerance_(solve_tolerance),
+        cost_(cost) {}
+
+  std::string name() const override;
+  void Ingest(const StreamTuple& tuple) override;
+  BaselineResult Query() override;
+
+  const std::vector<double>& last_weights() const {
+    return previous_.weights;
+  }
+
+ private:
+  ExecutionModel model_;
+  SgdLoss loss_;
+  uint32_t dimensions_;
+  double rate_;
+  double regularization_;
+  double solve_tolerance_;
+  BaselineCostModel cost_;
+  std::vector<SgdInstance> instances_;
+  uint64_t trace_records_ = 0;
+  SgdSolution previous_;
+  bool has_previous_ = false;
+};
+
+}  // namespace tornado
+
+#endif  // TORNADO_BASELINES_ML_BASELINES_H_

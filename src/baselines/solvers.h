@@ -1,0 +1,74 @@
+#ifndef TORNADO_BASELINES_SOLVERS_H_
+#define TORNADO_BASELINES_SOLVERS_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "algos/sgd.h"
+#include "graph/dynamic_graph.h"
+
+namespace tornado {
+
+/// Exact reference solvers with work accounting, shared by the comparator
+/// engines. Each returns real results plus how much work (updates, edge
+/// relaxations, sweeps) the computation performed, which the engines turn
+/// into simulated latency under their execution model.
+
+struct SsspSolution {
+  std::unordered_map<VertexId, double> dist;
+  uint64_t depth = 0;  // longest shortest-path hop count (iterations of a
+                       // synchronous relaxation)
+  uint64_t edges_relaxed = 0;
+};
+
+/// Dijkstra with hop-depth tracking.
+SsspSolution SolveSssp(const DynamicGraph& graph, VertexId source);
+
+struct PageRankSolution {
+  std::unordered_map<VertexId, double> rank;
+  uint64_t iterations = 0;
+  uint64_t edge_work = 0;  // edges processed over all sweeps
+};
+
+/// Jacobi sweeps of r = (1-d) + d * P^T r starting from `warm` (vertices
+/// missing from `warm` start at 1.0), until the L1 delta drops below
+/// `tolerance`. A good warm start genuinely needs fewer sweeps — this is
+/// what makes incremental baselines faster, and what the Tornado main loop
+/// exploits (Observation Two of the paper).
+PageRankSolution SolvePageRank(const DynamicGraph& graph, double damping,
+                               double tolerance,
+                               const std::unordered_map<VertexId, double>& warm,
+                               int max_iterations = 500);
+
+struct KMeansSolution {
+  std::vector<std::vector<double>> centroids;
+  uint64_t iterations = 0;
+  uint64_t point_scans = 0;  // point-centroid distance evaluations / k
+};
+
+/// Lloyd's algorithm from the given initial centroids until no centroid
+/// moves more than `tolerance`.
+KMeansSolution SolveKMeans(
+    const std::map<uint64_t, std::vector<double>>& points,
+    std::vector<std::vector<double>> centroids, double tolerance,
+    int max_iterations = 200);
+
+struct SgdSolution {
+  std::vector<double> weights;
+  uint64_t iterations = 0;
+  uint64_t gradient_terms = 0;  // instance-gradient evaluations
+  double objective = 0.0;
+};
+
+/// Full-batch gradient descent from `warm` until the objective improves by
+/// less than `tolerance` relatively.
+SgdSolution SolveSgd(const std::vector<SgdInstance>& instances, SgdLoss loss,
+                     double regularization, double rate,
+                     std::vector<double> warm, double tolerance,
+                     int max_iterations = 500);
+
+}  // namespace tornado
+
+#endif  // TORNADO_BASELINES_SOLVERS_H_

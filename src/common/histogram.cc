@@ -1,0 +1,84 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace tornado {
+
+void Histogram::Add(double value) {
+  samples_.push_back(value);
+  sorted_valid_ = false;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sorted_valid_ = false;
+}
+
+void Histogram::Clear() {
+  samples_.clear();
+  sorted_.clear();
+  sorted_valid_ = false;
+}
+
+void Histogram::EnsureSorted() const {
+  if (sorted_valid_) return;
+  sorted_ = samples_;
+  std::sort(sorted_.begin(), sorted_.end());
+  sorted_valid_ = true;
+}
+
+double Histogram::min() const {
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  return sorted_.front();
+}
+
+double Histogram::max() const {
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  return sorted_.back();
+}
+
+double Histogram::Sum() const {
+  double s = 0.0;
+  for (double v : samples_) s += v;
+  return s;
+}
+
+double Histogram::Mean() const {
+  if (samples_.empty()) return 0.0;
+  return Sum() / static_cast<double>(samples_.size());
+}
+
+double Histogram::Stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double mean = Mean();
+  double acc = 0.0;
+  for (double v : samples_) acc += (v - mean) * (v - mean);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double Histogram::Percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  if (p <= 0.0) return sorted_.front();
+  if (p >= 100.0) return sorted_.back();
+  const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted_.size()) return sorted_.back();
+  return sorted_[lo] * (1.0 - frac) + sorted_[lo + 1] * frac;
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream os;
+  os << "n=" << count() << " mean=" << Mean() << " min=" << min()
+     << " p50=" << Percentile(50) << " p99=" << Percentile(99)
+     << " max=" << max();
+  return os.str();
+}
+
+}  // namespace tornado

@@ -1,0 +1,44 @@
+#ifndef TORNADO_COMMON_HISTOGRAM_H_
+#define TORNADO_COMMON_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tornado {
+
+/// Records samples and answers mean / stddev / percentile queries.
+/// Used by the benchmark harness to report the paper's "99th percentile
+/// latency" and "latency ± σ" rows. Exact (stores samples); the benches
+/// record at most a few thousand values.
+class Histogram {
+ public:
+  void Add(double value);
+  void Merge(const Histogram& other);
+  void Clear();
+
+  size_t count() const { return samples_.size(); }
+  double min() const;
+  double max() const;
+  double Sum() const;
+  double Mean() const;
+  double Stddev() const;
+
+  /// Linear-interpolated percentile, p in [0, 100]. Returns 0 when empty.
+  double Percentile(double p) const;
+
+  /// "n=5 mean=1.23 p50=... p99=..." for logs.
+  std::string ToString() const;
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+}  // namespace tornado
+
+#endif  // TORNADO_COMMON_HISTOGRAM_H_

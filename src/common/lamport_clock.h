@@ -1,0 +1,45 @@
+#ifndef TORNADO_COMMON_LAMPORT_CLOCK_H_
+#define TORNADO_COMMON_LAMPORT_CLOCK_H_
+
+#include <compare>
+#include <cstdint>
+
+namespace tornado {
+
+/// A Lamport timestamp. Ties between nodes are broken by node id so that
+/// the resulting order is total — the three-phase update protocol relies on
+/// a total order over update times to rule out deadlock (the minimum-time
+/// preparer can always collect its acknowledgements; see Section 4.2 of the
+/// paper and core/session.cc).
+struct LamportTime {
+  uint64_t time = 0;
+  uint32_t node = 0;
+
+  friend auto operator<=>(const LamportTime&, const LamportTime&) = default;
+};
+
+/// Per-node logical clock (Lamport 1978). Tick() on every local event;
+/// Witness() when a timestamped message is received.
+class LamportClock {
+ public:
+  explicit LamportClock(uint32_t node_id) : node_id_(node_id) {}
+
+  /// Advances the clock and returns a fresh, unique timestamp.
+  LamportTime Tick() { return LamportTime{++time_, node_id_}; }
+
+  /// Merges a remote timestamp so later local ticks order after it.
+  void Witness(LamportTime remote) {
+    if (remote.time > time_) time_ = remote.time;
+  }
+
+  uint64_t current() const { return time_; }
+  uint32_t node_id() const { return node_id_; }
+
+ private:
+  uint64_t time_ = 0;
+  uint32_t node_id_;
+};
+
+}  // namespace tornado
+
+#endif  // TORNADO_COMMON_LAMPORT_CLOCK_H_

@@ -1,0 +1,71 @@
+#ifndef TORNADO_COMMON_LOGGING_H_
+#define TORNADO_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace tornado {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Process-wide minimum level; messages below it are discarded.
+/// Tests raise this to kWarning to keep output clean.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Builds one log line and emits it (to stderr) on destruction.
+/// kFatal aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace tornado
+
+#define TLOG_DEBUG \
+  ::tornado::internal::LogMessage(::tornado::LogLevel::kDebug, __FILE__, __LINE__)
+#define TLOG_INFO \
+  ::tornado::internal::LogMessage(::tornado::LogLevel::kInfo, __FILE__, __LINE__)
+#define TLOG_WARN \
+  ::tornado::internal::LogMessage(::tornado::LogLevel::kWarning, __FILE__, __LINE__)
+#define TLOG_ERROR \
+  ::tornado::internal::LogMessage(::tornado::LogLevel::kError, __FILE__, __LINE__)
+#define TLOG_FATAL \
+  ::tornado::internal::LogMessage(::tornado::LogLevel::kFatal, __FILE__, __LINE__)
+
+/// Invariant check that is active in all build types. The engine relies on
+/// these to surface protocol violations instead of silently corrupting state.
+#define TCHECK(cond)                                              \
+  if (!(cond))                                                    \
+  TLOG_FATAL << "Check failed: " #cond " "
+
+#define TCHECK_EQ(a, b) TCHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TCHECK_NE(a, b) TCHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TCHECK_LT(a, b) TCHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TCHECK_LE(a, b) TCHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TCHECK_GT(a, b) TCHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TCHECK_GE(a, b) TCHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // TORNADO_COMMON_LOGGING_H_

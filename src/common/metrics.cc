@@ -1,0 +1,18 @@
+#include "common/metrics.h"
+
+#include <sstream>
+
+namespace tornado {
+
+std::string MetricRegistry::ToString() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    if (!first) os << " ";
+    os << name << "=" << value;
+    first = false;
+  }
+  return os.str();
+}
+
+}  // namespace tornado

@@ -1,0 +1,53 @@
+#ifndef TORNADO_COMMON_METRICS_H_
+#define TORNADO_COMMON_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace tornado {
+
+/// A flat bag of named counters. The engine components (transport, session
+/// layer, master) account their work here; benchmarks read the counters to
+/// report the paper's "#Updates", "#Prepares" and "#Messages Per Second"
+/// columns. Not thread-safe: the simulated cluster is single-threaded by
+/// construction.
+class MetricRegistry {
+ public:
+  void Inc(const std::string& name, int64_t delta = 1) {
+    counters_[name] += delta;
+  }
+
+  int64_t Get(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  void Reset() { counters_.clear(); }
+
+  const std::map<std::string, int64_t>& counters() const { return counters_; }
+
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, int64_t> counters_;
+};
+
+/// Well-known metric names shared between the engine and the benches.
+namespace metric {
+inline constexpr const char kUpdatesCommitted[] = "updates_committed";
+inline constexpr const char kPreparesSent[] = "prepares_sent";
+inline constexpr const char kAcksSent[] = "acks_sent";
+inline constexpr const char kMessagesSent[] = "messages_sent";
+inline constexpr const char kMessagesDelivered[] = "messages_delivered";
+inline constexpr const char kMessagesRetransmitted[] = "messages_retransmitted";
+inline constexpr const char kMessagesDeduped[] = "messages_deduped";
+inline constexpr const char kVersionsFlushed[] = "versions_flushed";
+inline constexpr const char kInputsGathered[] = "inputs_gathered";
+inline constexpr const char kUpdatesBlocked[] = "updates_blocked_at_bound";
+inline constexpr const char kIterationsTerminated[] = "iterations_terminated";
+}  // namespace metric
+
+}  // namespace tornado
+
+#endif  // TORNADO_COMMON_METRICS_H_

@@ -1,0 +1,25 @@
+#ifndef TORNADO_COMMON_TYPES_H_
+#define TORNADO_COMMON_TYPES_H_
+
+#include <cstdint>
+
+namespace tornado {
+
+/// Identifier of a vertex in the dependency graph (a "component" in the
+/// iteration-model formalization of Section 2).
+using VertexId = uint64_t;
+
+/// Identifier of a loop: 0 is the main loop; branch loops get fresh ids.
+using LoopId = uint32_t;
+
+inline constexpr LoopId kMainLoop = 0;
+
+/// Iteration number within a loop (τ in the paper).
+using Iteration = uint64_t;
+
+/// Sentinel for "no iteration".
+inline constexpr Iteration kNoIteration = ~0ULL;
+
+}  // namespace tornado
+
+#endif  // TORNADO_COMMON_TYPES_H_

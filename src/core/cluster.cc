@@ -1,0 +1,116 @@
+#include "core/cluster.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/serde.h"
+
+namespace tornado {
+
+TornadoCluster::TornadoCluster(JobConfig config,
+                               std::unique_ptr<StreamSource> source)
+    : config_(std::move(config)) {
+  TCHECK(config_.program != nullptr) << "JobConfig.program is required";
+  TCHECK_GE(config_.num_processors, 1u);
+  TCHECK_GE(config_.num_hosts, 1u);
+  TCHECK_GE(config_.delay_bound, 1u);
+
+  network_ = std::make_unique<Network>(&loop_, config_.cost,
+                                       config_.seed ^ 0xA5A5A5A5ULL);
+  failures_ = std::make_unique<FailureInjector>(network_.get());
+
+  const HashPartitioner partitioner(config_.num_processors);
+  const NodeId master_id = config_.num_processors;
+
+  // Node ids: [0, P) processors, P master, P+1 ingester. Worker threads
+  // share the configured hosts; the master and ingester get hosts of their
+  // own (the paper's master is a dedicated coordinator).
+  for (uint32_t p = 0; p < config_.num_processors; ++p) {
+    const double speed = p < config_.processor_speeds.size()
+                             ? config_.processor_speeds[p]
+                             : 1.0;
+    auto proc = std::make_unique<Processor>(p, &config_, &store_, partitioner,
+                                            master_id, /*first_processor=*/0);
+    network_->RegisterNode(proc.get(), /*host=*/p % config_.num_hosts, speed);
+    processors_.push_back(std::move(proc));
+  }
+
+  master_ = std::make_unique<Master>(&config_, &store_, /*first_processor=*/0,
+                                     /*ingester=*/master_id + 1);
+  network_->RegisterNode(master_.get(), /*host=*/config_.num_hosts);
+
+  ingester_ = std::make_unique<Ingester>(&config_, std::move(source),
+                                         partitioner, /*first_processor=*/0,
+                                         master_id);
+  network_->RegisterNode(ingester_.get(), /*host=*/config_.num_hosts + 1);
+}
+
+TornadoCluster::~TornadoCluster() = default;
+
+void TornadoCluster::Start() {
+  for (auto& proc : processors_) proc->Start();
+  ingester_->Start();
+}
+
+bool TornadoCluster::RunUntil(const std::function<bool()>& pred,
+                              double timeout, double check_every) {
+  const double deadline = loop_.now() + timeout;
+  while (loop_.now() < deadline) {
+    if (pred()) return true;
+    const double slice = std::min(loop_.now() + check_every, deadline);
+    loop_.RunUntil(slice);
+    if (loop_.empty() && !pred()) {
+      // Nothing scheduled and the predicate is false: it can never flip.
+      return pred();
+    }
+  }
+  return pred();
+}
+
+bool TornadoCluster::RunUntilEmitted(uint64_t count, double timeout) {
+  return RunUntil([&]() { return ingester_->emitted() >= count; }, timeout);
+}
+
+bool TornadoCluster::RunUntilQueryDone(uint64_t query_id, double timeout) {
+  return RunUntil(
+      [&]() {
+        for (const CompletedQuery& q : ingester_->completed_queries()) {
+          if (q.query_id == query_id) return true;
+        }
+        return false;
+      },
+      timeout);
+}
+
+void TornadoCluster::RunFor(double seconds) {
+  loop_.RunUntil(loop_.now() + seconds);
+}
+
+LoopId TornadoCluster::BranchOf(uint64_t query_id) const {
+  for (const CompletedQuery& q : ingester_->completed_queries()) {
+    if (q.query_id == query_id) return q.branch;
+  }
+  return 0;
+}
+
+double TornadoCluster::QueryLatency(uint64_t query_id) const {
+  for (const CompletedQuery& q : ingester_->completed_queries()) {
+    if (q.query_id == query_id) return q.Latency();
+  }
+  return -1.0;
+}
+
+std::unique_ptr<VertexState> TornadoCluster::ReadVertexStateAt(
+    LoopId loop, VertexId vertex, Iteration iteration) const {
+  const std::vector<uint8_t>* blob = store_.Get(loop, vertex, iteration);
+  if (blob == nullptr) return nullptr;
+  BufferReader reader(*blob);
+  return config_.program->DeserializeState(&reader);
+}
+
+std::unique_ptr<VertexState> TornadoCluster::ReadVertexState(
+    LoopId loop, VertexId vertex) const {
+  return ReadVertexStateAt(loop, vertex, kNoIteration - 1);
+}
+
+}  // namespace tornado

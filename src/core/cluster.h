@@ -1,0 +1,107 @@
+#ifndef TORNADO_CORE_CLUSTER_H_
+#define TORNADO_CORE_CLUSTER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "core/ingester.h"
+#include "core/master.h"
+#include "core/processor.h"
+#include "net/network.h"
+#include "sim/event_loop.h"
+#include "sim/failure_injector.h"
+#include "storage/versioned_store.h"
+#include "stream/stream_source.h"
+
+namespace tornado {
+
+/// The public entry point of the library: assembles a complete simulated
+/// Tornado deployment (ingester + processors + master + shared versioned
+/// store on a host/NIC topology) for one job, and provides driving and
+/// result-reading helpers for applications and benchmarks.
+///
+/// Typical use:
+///
+///   JobConfig config;
+///   config.program = std::make_shared<SsspProgram>(source_vertex);
+///   TornadoCluster cluster(config, std::make_unique<GraphStream>(opts));
+///   cluster.Start();
+///   cluster.RunUntilEmitted(100000, /*timeout=*/600.0);
+///   uint64_t q = cluster.ingester().SubmitQuery();
+///   cluster.RunUntilQueryDone(q, /*timeout=*/600.0);
+///   auto state = cluster.ReadVertexState(cluster.BranchOf(q), vertex);
+class TornadoCluster {
+ public:
+  TornadoCluster(JobConfig config, std::unique_ptr<StreamSource> source);
+  ~TornadoCluster();
+
+  TornadoCluster(const TornadoCluster&) = delete;
+  TornadoCluster& operator=(const TornadoCluster&) = delete;
+
+  /// Starts the processors' report timers and the ingester.
+  void Start();
+
+  // --- Driving the virtual clock. ---
+
+  /// Runs until `pred()` holds, checking every `check_every` virtual
+  /// seconds, up to `timeout`. Returns whether the predicate held.
+  bool RunUntil(const std::function<bool()>& pred, double timeout,
+                double check_every = 0.01);
+
+  /// Runs until the ingester has emitted at least `count` tuples.
+  bool RunUntilEmitted(uint64_t count, double timeout);
+
+  /// Runs until the query's branch loop converges.
+  bool RunUntilQueryDone(uint64_t query_id, double timeout);
+
+  /// Runs the clock forward by `seconds` of virtual time.
+  void RunFor(double seconds);
+
+  // --- Results. ---
+
+  /// Branch loop id of a completed query (0 if unknown/unfinished).
+  LoopId BranchOf(uint64_t query_id) const;
+
+  /// Latency of a completed query in virtual seconds (-1 if unfinished).
+  double QueryLatency(uint64_t query_id) const;
+
+  /// Reads and deserializes the newest state of `vertex` in `loop` from
+  /// the store (nullptr if absent).
+  std::unique_ptr<VertexState> ReadVertexState(LoopId loop,
+                                               VertexId vertex) const;
+
+  /// Same, but the snapshot-consistent version at `iteration`.
+  std::unique_ptr<VertexState> ReadVertexStateAt(LoopId loop, VertexId vertex,
+                                                 Iteration iteration) const;
+
+  // --- Component access. ---
+  EventLoop& loop() { return loop_; }
+  Network& network() { return *network_; }
+  VersionedStore& store() { return store_; }
+  Master& master() { return *master_; }
+  Ingester& ingester() { return *ingester_; }
+  Processor& processor(uint32_t index) { return *processors_[index]; }
+  FailureInjector& failures() { return *failures_; }
+  const JobConfig& config() const { return config_; }
+
+  /// NodeIds for failure injection.
+  NodeId processor_node(uint32_t index) const { return index; }
+  NodeId master_node() const { return config_.num_processors; }
+  NodeId ingester_node() const { return config_.num_processors + 1; }
+
+ private:
+  JobConfig config_;
+  EventLoop loop_;
+  std::unique_ptr<Network> network_;
+  VersionedStore store_;
+  std::vector<std::unique_ptr<Processor>> processors_;
+  std::unique_ptr<Master> master_;
+  std::unique_ptr<Ingester> ingester_;
+  std::unique_ptr<FailureInjector> failures_;
+};
+
+}  // namespace tornado
+
+#endif  // TORNADO_CORE_CLUSTER_H_

@@ -1,0 +1,105 @@
+#include "core/ingester.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace tornado {
+
+Ingester::Ingester(const JobConfig* config,
+                   std::unique_ptr<StreamSource> source,
+                   HashPartitioner partitioner, NodeId first_processor_node,
+                   NodeId master_node)
+    : config_(config),
+      source_(std::move(source)),
+      partitioner_(partitioner),
+      first_processor_node_(first_processor_node),
+      master_node_(master_node) {}
+
+void Ingester::Start() {
+  if (started_) return;
+  started_ = true;
+  Resume();
+}
+
+void Ingester::Resume() {
+  paused_ = false;
+  if (!ticking_ && started_ && !exhausted_) {
+    ticking_ = true;
+    ScheduleSelf(0.0, [this]() { Tick(); });
+  }
+}
+
+void Ingester::Tick() {
+  ticking_ = false;
+  if (paused_ || exhausted_) return;
+
+  for (uint32_t i = 0; i < config_->ingest_batch; ++i) {
+    std::optional<StreamTuple> tuple = source_->Next();
+    if (!tuple.has_value()) {
+      exhausted_ = true;
+      break;
+    }
+    Route(*tuple);
+    ++emitted_;
+  }
+  if (emit_hook_) emit_hook_(emitted_);
+  if (exhausted_) return;
+
+  const double interval =
+      static_cast<double>(config_->ingest_batch) / config_->ingest_rate;
+  ticking_ = true;
+  ScheduleSelf(interval, [this]() { Tick(); });
+}
+
+void Ingester::Route(const StreamTuple& tuple) {
+  std::vector<std::pair<VertexId, Delta>> targets;
+  if (config_->router) {
+    config_->router(tuple, &targets);
+  } else if (const auto* edge = std::get_if<EdgeDelta>(&tuple.delta)) {
+    // Default: an edge delta is gathered by its source vertex, which
+    // add/removes the target (Appendix B's SSSP program).
+    targets.emplace_back(edge->src, tuple.delta);
+  } else {
+    TLOG_WARN << "ingester: no router for non-edge delta; dropping";
+    return;
+  }
+  for (auto& [vertex, routed] : targets) {
+    auto input = std::make_shared<InputMsg>();
+    input->loop = kMainLoop;
+    input->epoch = main_epoch_;
+    input->target = vertex;
+    input->delta = std::move(routed);
+    Send(first_processor_node_ + partitioner_.PartitionOf(vertex),
+         std::move(input));
+  }
+}
+
+uint64_t Ingester::SubmitQuery() {
+  const uint64_t id = next_query_id_++;
+  auto query = std::make_shared<QueryMsg>();
+  query->query_id = id;
+  query->submit_time = now();
+  Send(master_node_, std::move(query));
+  return id;
+}
+
+void Ingester::OnMessage(NodeId src, const Payload& msg) {
+  (void)src;
+  if (const auto* m = dynamic_cast<const QueryResultMsg*>(&msg)) {
+    CompletedQuery done;
+    done.query_id = m->query_id;
+    done.branch = m->branch;
+    done.converged_iteration = m->converged_iteration;
+    done.submit_time = m->submit_time;
+    done.done_time = now();
+    completed_.push_back(done);
+    if (result_hook_) result_hook_(done);
+  } else if (const auto* m = dynamic_cast<const RestartLoopMsg*>(&msg)) {
+    if (m->loop == kMainLoop) main_epoch_ = m->new_epoch;
+  } else {
+    TLOG_WARN << "ingester: unknown message " << msg.name();
+  }
+}
+
+}  // namespace tornado

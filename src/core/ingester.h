@@ -1,0 +1,90 @@
+#ifndef TORNADO_CORE_INGESTER_H_
+#define TORNADO_CORE_INGESTER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "core/messages.h"
+#include "graph/dynamic_graph.h"
+#include "net/network.h"
+#include "stream/stream_source.h"
+
+namespace tornado {
+
+/// A completed query as observed by the ingester (the user's entry point).
+struct CompletedQuery {
+  uint64_t query_id = 0;
+  LoopId branch = 0;
+  Iteration converged_iteration = 0;
+  double submit_time = 0.0;
+  double done_time = 0.0;
+
+  double Latency() const { return done_time - submit_time; }
+};
+
+/// The spout of the topology (Section 5.1): paces tuples from a stream
+/// source into the main loop, routing each delta to the vertex that
+/// gathers it, and relays user queries to the master (Section 5.2).
+class Ingester : public Node {
+ public:
+  Ingester(const JobConfig* config, std::unique_ptr<StreamSource> source,
+           HashPartitioner partitioner, NodeId first_processor_node,
+           NodeId master_node);
+
+  void OnMessage(NodeId src, const Payload& msg) override;
+
+  /// Begins emitting tuples at the configured rate.
+  void Start();
+
+  /// Pauses / resumes emission (drivers use this to freeze the input while
+  /// measuring a branch loop, as the batch-baseline comparison requires).
+  void Pause() { paused_ = true; }
+  void Resume();
+  bool paused() const { return paused_; }
+
+  /// Issues a user request for the results "as of now". Returns the query
+  /// id; completion is reported through the result hook and the
+  /// completed_queries() list.
+  uint64_t SubmitQuery();
+
+  uint64_t emitted() const { return emitted_; }
+  bool exhausted() const { return exhausted_; }
+  const std::vector<CompletedQuery>& completed_queries() const {
+    return completed_;
+  }
+
+  /// Invoked after each emission batch with the cumulative tuple count.
+  void set_emit_hook(std::function<void(uint64_t)> hook) {
+    emit_hook_ = std::move(hook);
+  }
+  /// Invoked when a query's branch loop converges.
+  void set_result_hook(std::function<void(const CompletedQuery&)> hook) {
+    result_hook_ = std::move(hook);
+  }
+
+ private:
+  void Tick();
+  void Route(const StreamTuple& tuple);
+
+  const JobConfig* config_;
+  std::unique_ptr<StreamSource> source_;
+  HashPartitioner partitioner_;
+  NodeId first_processor_node_;
+  NodeId master_node_;
+  LoopEpoch main_epoch_ = 0;
+  uint64_t emitted_ = 0;
+  uint64_t next_query_id_ = 1;
+  bool started_ = false;
+  bool paused_ = false;
+  bool ticking_ = false;
+  bool exhausted_ = false;
+  std::function<void(uint64_t)> emit_hook_;
+  std::function<void(const CompletedQuery&)> result_hook_;
+  std::vector<CompletedQuery> completed_;
+};
+
+}  // namespace tornado
+
+#endif  // TORNADO_CORE_INGESTER_H_

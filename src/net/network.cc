@@ -1,0 +1,306 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace tornado {
+
+void Node::Send(NodeId dst, PayloadPtr payload, bool reliable) {
+  network_->Send(id_, dst, std::move(payload), reliable);
+}
+
+void Node::ScheduleSelf(double delay, std::function<void()> fn) {
+  network_->ScheduleOnNode(id_, delay, std::move(fn));
+}
+
+void Node::AddCost(double seconds) { network_->AddHandlerCost(seconds); }
+
+double Node::now() const { return network_->now(); }
+
+Network::Network(EventLoop* loop, CostModel cost, uint64_t seed)
+    : loop_(loop), cost_(cost), rng_(seed) {}
+
+void Network::RegisterNode(Node* node, HostId host, double speed_factor) {
+  TCHECK(node != nullptr);
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  node->id_ = id;
+  node->network_ = this;
+  NodeState state;
+  state.node = node;
+  state.host = host;
+  state.speed = speed_factor;
+  nodes_.push_back(std::move(state));
+  if (host >= hosts_.size()) hosts_.resize(host + 1);
+}
+
+double Network::SampleLatency() {
+  const double jitter =
+      rng_.NextDouble(1.0 - cost_.net_jitter, 1.0 + cost_.net_jitter);
+  return cost_.net_latency * jitter;
+}
+
+void Network::Send(NodeId src, NodeId dst, PayloadPtr payload, bool reliable) {
+  TCHECK_LT(src, nodes_.size());
+  TCHECK_LT(dst, nodes_.size());
+  NodeState& sender = nodes_[src];
+  if (!sender.alive) return;
+  metrics_.Inc(metric::kMessagesSent);
+
+  uint64_t seq = 0;
+  if (reliable) {
+    const uint32_t dst_inc = nodes_[dst].incarnation;
+    const uint64_t key = ChannelKey(src, sender.incarnation, dst, dst_inc);
+    SendChannel& ch = send_channels_[key];
+    seq = ch.next_seq++;
+    PendingSend pending;
+    pending.dst = dst;
+    pending.dst_inc = dst_inc;
+    pending.payload = payload;
+    pending.timeout = cost_.ack_timeout;
+    ch.unacked.emplace(seq, std::move(pending));
+    ScheduleRetransmit(key, seq, src);
+  }
+  TransmitToHost(src, dst, sender.incarnation, seq, std::move(payload),
+                 reliable, /*retransmit=*/false);
+}
+
+void Network::TransmitToHost(NodeId src, NodeId dst, uint32_t src_inc,
+                             uint64_t seq, PayloadPtr payload, bool reliable,
+                             bool retransmit) {
+  NodeState& sender = nodes_[src];
+  NodeState& receiver = nodes_[dst];
+  if (retransmit) metrics_.Inc(metric::kMessagesRetransmitted);
+
+  const uint32_t dst_inc = receiver.incarnation;
+  double arrival = loop_->now();
+  if (sender.host == receiver.host) {
+    arrival += cost_.local_latency;
+  } else {
+    // Serialize through the sending host's NIC, cross the wire, then
+    // serialize through the receiving host's NIC. NIC contention is what
+    // saturates aggregate throughput when many workers share few hosts.
+    HostState& egress = hosts_[sender.host];
+    double start = std::max(arrival, egress.egress_busy);
+    egress.egress_busy = start + cost_.nic_wire_time;
+    arrival = egress.egress_busy + SampleLatency();
+  }
+
+  loop_->ScheduleAt(arrival, [this, src, dst, src_inc, dst_inc, seq,
+                              payload = std::move(payload), reliable,
+                              cross_host = sender.host != receiver.host]() {
+    if (cross_host) {
+      HostState& ingress = hosts_[nodes_[dst].host];
+      const double start = std::max(loop_->now(), ingress.ingress_busy);
+      ingress.ingress_busy = start + cost_.nic_wire_time;
+      loop_->ScheduleAt(
+          ingress.ingress_busy,
+          [this, src, dst, src_inc, dst_inc, seq, payload, reliable]() {
+            ArriveAtNode(src, dst, src_inc, dst_inc, seq, payload, reliable);
+          });
+    } else {
+      ArriveAtNode(src, dst, src_inc, dst_inc, seq, payload, reliable);
+    }
+  });
+}
+
+void Network::ArriveAtNode(NodeId src, NodeId dst, uint32_t src_inc,
+                           uint32_t dst_inc, uint64_t seq, PayloadPtr payload,
+                           bool reliable) {
+  NodeState& receiver = nodes_[dst];
+  if (!receiver.alive) return;  // Dropped; the sender will retransmit.
+  if (receiver.incarnation != dst_inc) {
+    // The receiver restarted since this copy was transmitted; its channel
+    // state (sequence space) was reset, so the stale copy must not be
+    // interpreted under the new numbering. Retransmissions pick up the new
+    // incarnation.
+    return;
+  }
+
+  if (!reliable) {
+    EnqueueAtNode(src, dst, std::move(payload));
+    return;
+  }
+
+  // Transport-level acknowledgement back to the sender (unreliable and
+  // cheap; a lost ack only causes a duplicate, which dedup absorbs).
+  loop_->Schedule(SampleLatency(), [this, src, src_inc, dst, dst_inc, seq]() {
+    DeliverTransportAck(src, src_inc, dst, dst_inc, seq);
+  });
+
+  // TCP-like per-channel semantics: drop duplicates, hold out-of-order
+  // arrivals, deliver in sequence order.
+  RecvChannel& rc = recv_channels_[ChannelKey(src, src_inc, dst, dst_inc)];
+  if (seq <= rc.contiguous || rc.held.count(seq) > 0) {
+    metrics_.Inc(metric::kMessagesDeduped);
+    return;
+  }
+  rc.held.emplace(seq, HeldMessage{src, std::move(payload)});
+  while (!rc.held.empty() && rc.held.begin()->first == rc.contiguous + 1) {
+    HeldMessage next = std::move(rc.held.begin()->second);
+    rc.held.erase(rc.held.begin());
+    ++rc.contiguous;
+    EnqueueAtNode(next.src, dst, std::move(next.payload));
+  }
+}
+
+void Network::EnqueueAtNode(NodeId src, NodeId dst, PayloadPtr payload) {
+  metrics_.Inc(metric::kMessagesDelivered);
+  nodes_[dst].inbox.push_back(InboxEntry{src, std::move(payload), nullptr});
+  SchedulePump(dst);
+}
+
+void Network::DeliverTransportAck(NodeId src, uint32_t src_inc, NodeId dst,
+                                  uint32_t dst_inc, uint64_t seq) {
+  NodeState& sender = nodes_[src];
+  if (!sender.alive || sender.incarnation != src_inc) return;
+  auto ch_it = send_channels_.find(ChannelKey(src, src_inc, dst, dst_inc));
+  if (ch_it == send_channels_.end()) return;
+  auto pending_it = ch_it->second.unacked.find(seq);
+  if (pending_it == ch_it->second.unacked.end()) return;
+  loop_->Cancel(pending_it->second.timer);
+  ch_it->second.unacked.erase(pending_it);
+}
+
+void Network::ScheduleRetransmit(uint64_t channel_key, uint64_t seq,
+                                 NodeId src) {
+  auto ch_it = send_channels_.find(channel_key);
+  if (ch_it == send_channels_.end()) return;
+  auto pending_it = ch_it->second.unacked.find(seq);
+  if (pending_it == ch_it->second.unacked.end()) return;
+  PendingSend& pending = pending_it->second;
+
+  pending.timer =
+      loop_->Schedule(pending.timeout, [this, channel_key, seq, src]() {
+        auto ch = send_channels_.find(channel_key);
+        if (ch == send_channels_.end()) return;
+        auto it = ch->second.unacked.find(seq);
+        if (it == ch->second.unacked.end()) return;  // acked meanwhile
+        NodeState& sender = nodes_[src];
+        const uint32_t inc =
+            static_cast<uint32_t>((channel_key >> 28) & 0x3FFF);
+        if (!sender.alive || sender.incarnation != inc) {
+          ch->second.unacked.erase(it);
+          return;
+        }
+        PendingSend& p = it->second;
+        if (nodes_[p.dst].incarnation != p.dst_inc) {
+          // The receiver restarted: this channel is dead. Migrate the
+          // message onto a fresh channel toward the new incarnation
+          // (at-least-once across receiver restarts, Section 5.3).
+          PayloadPtr payload = p.payload;
+          const NodeId dst = p.dst;
+          ch->second.unacked.erase(it);
+          metrics_.Inc(metric::kMessagesRetransmitted);
+          Send(src, dst, std::move(payload), /*reliable=*/true);
+          return;
+        }
+        if (++p.retries > 64) {
+          TLOG_WARN << "dropping message after 64 retransmissions (dst="
+                    << p.dst << ")";
+          ch->second.unacked.erase(it);
+          return;
+        }
+        p.timeout = std::min(p.timeout * 2.0, cost_.ack_timeout_max);
+        TransmitToHost(src, p.dst, inc, seq, p.payload, /*reliable=*/true,
+                       /*retransmit=*/true);
+        ScheduleRetransmit(channel_key, seq, src);
+      });
+}
+
+void Network::ScheduleOnNode(NodeId id, double delay,
+                             std::function<void()> fn) {
+  TCHECK_LT(id, nodes_.size());
+  const uint32_t inc = nodes_[id].incarnation;
+  loop_->Schedule(delay, [this, id, inc, fn = std::move(fn)]() {
+    NodeState& ns = nodes_[id];
+    if (!ns.alive || ns.incarnation != inc) return;
+    ns.inbox.push_back(InboxEntry{id, nullptr, fn});
+    SchedulePump(id);
+  });
+}
+
+void Network::SchedulePump(NodeId id) {
+  NodeState& ns = nodes_[id];
+  if (ns.pump_scheduled || ns.inbox.empty()) return;
+  ns.pump_scheduled = true;
+  const uint32_t inc = ns.incarnation;
+  const double start = std::max(loop_->now(), ns.busy_until);
+  loop_->ScheduleAt(start, [this, id, inc]() { Pump(id, inc); });
+}
+
+void Network::Pump(NodeId id, uint32_t incarnation) {
+  NodeState& ns = nodes_[id];
+  ns.pump_scheduled = false;
+  if (!ns.alive || ns.incarnation != incarnation || ns.inbox.empty()) return;
+
+  InboxEntry entry = std::move(ns.inbox.front());
+  ns.inbox.pop_front();
+
+  handler_extra_cost_ = 0.0;
+  if (entry.timer_fn) {
+    entry.timer_fn();
+  } else {
+    ns.node->OnMessage(entry.src, *entry.payload);
+  }
+  const double service =
+      cost_.per_message_cpu / ns.speed + handler_extra_cost_ / ns.speed;
+  handler_extra_cost_ = 0.0;
+  ns.busy_until = loop_->now() + service;
+
+  if (!ns.inbox.empty() && ns.alive && ns.incarnation == incarnation) {
+    SchedulePump(id);
+  }
+}
+
+void Network::KillNode(NodeId id) {
+  TCHECK_LT(id, nodes_.size());
+  NodeState& ns = nodes_[id];
+  if (!ns.alive) return;
+  ns.alive = false;
+  ns.inbox.clear();
+  // The crashed process loses its send-side channel state: cancel its
+  // retransmission timers.
+  for (auto it = send_channels_.begin(); it != send_channels_.end();) {
+    if ((it->first >> 42) == id) {
+      for (auto& [seq, pending] : it->second.unacked) {
+        loop_->Cancel(pending.timer);
+      }
+      it = send_channels_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  TLOG_INFO << "node " << id << " killed at t=" << loop_->now();
+}
+
+void Network::RecoverNode(NodeId id) {
+  TCHECK_LT(id, nodes_.size());
+  NodeState& ns = nodes_[id];
+  if (ns.alive) return;
+  ns.alive = true;
+  ns.incarnation++;
+  ns.busy_until = loop_->now();
+  ns.inbox.clear();
+  ns.pump_scheduled = false;
+  // Receiver-side channel state of old incarnations is garbage now; the
+  // incarnation bump means senders open fresh channels (and migrate their
+  // unacknowledged messages onto them at the next retransmission).
+  for (auto it = recv_channels_.begin(); it != recv_channels_.end();) {
+    if (((it->first >> 14) & 0x3FFF) == id) {
+      it = recv_channels_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  TLOG_INFO << "node " << id << " recovered at t=" << loop_->now();
+  ns.node->OnRestart();
+}
+
+bool Network::IsAlive(NodeId id) const {
+  TCHECK_LT(id, nodes_.size());
+  return nodes_[id].alive;
+}
+
+}  // namespace tornado

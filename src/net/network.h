@@ -1,0 +1,185 @@
+#ifndef TORNADO_NET_NETWORK_H_
+#define TORNADO_NET_NETWORK_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "net/payload.h"
+#include "sim/cost_model.h"
+#include "sim/event_loop.h"
+
+namespace tornado {
+
+class Network;
+
+/// An actor attached to the network: a processor, the master, or an
+/// ingester. Messages are delivered one at a time through a single-server
+/// service queue per node (modeling a Storm worker thread); the handler can
+/// charge extra virtual CPU time via AddCost().
+class Node {
+ public:
+  virtual ~Node() = default;
+
+  /// Handles one delivered message. Runs on the simulated worker thread.
+  virtual void OnMessage(NodeId src, const Payload& msg) = 0;
+
+  /// Called after the node recovers from a failure, before any new message
+  /// is delivered. In-memory state is gone; reload from durable storage.
+  virtual void OnRestart() {}
+
+  NodeId id() const { return id_; }
+  Network* network() const { return network_; }
+
+ protected:
+  /// Sends a message to another node (reliable by default: acknowledged,
+  /// retransmitted, deduplicated).
+  void Send(NodeId dst, PayloadPtr payload, bool reliable = true);
+
+  /// Schedules a callback on this node's service queue after `delay`
+  /// virtual seconds. The callback is dropped if the node fails meanwhile.
+  void ScheduleSelf(double delay, std::function<void()> fn);
+
+  /// Charges extra virtual CPU time to the message currently being handled.
+  void AddCost(double seconds);
+
+  double now() const;
+
+ private:
+  friend class Network;
+  NodeId id_ = 0;
+  Network* network_ = nullptr;
+};
+
+/// The simulated cluster fabric: node registry, host NICs, reliable
+/// channels (per-channel sequence numbers, transport acks, retransmission
+/// with exponential backoff, receiver-side dedup) and failure injection.
+///
+/// This is the substitute for Storm's transportation layer (Section 5.1):
+/// "it packages the messages from higher layers ... and ensures that
+/// messages are delivered without any error", plus Section 5.3's
+/// "when a sent message is not acknowledged in certain time, it will be
+/// resent to ensure at-least-once message passing".
+class Network {
+ public:
+  Network(EventLoop* loop, CostModel cost, uint64_t seed = 1);
+
+  /// Registers a node on a host. Node ids are assigned densely by the
+  /// caller and must be unique. The node must outlive the network.
+  void RegisterNode(Node* node, HostId host, double speed_factor = 1.0);
+
+  /// Sends `payload` from `src` to `dst`. No-op if the sender is dead.
+  void Send(NodeId src, NodeId dst, PayloadPtr payload, bool reliable);
+
+  /// Schedules `fn` on `node`'s service queue after `delay` seconds.
+  void ScheduleOnNode(NodeId node, double delay, std::function<void()> fn);
+
+  /// Charges extra cost to the handler currently running (if any).
+  void AddHandlerCost(double seconds) { handler_extra_cost_ += seconds; }
+
+  /// Failure injection. Killing a node drops its inbox, its in-memory
+  /// state and all unacknowledged outgoing messages; peers keep
+  /// retransmitting into the void until recovery or retry exhaustion.
+  void KillNode(NodeId id);
+  void RecoverNode(NodeId id);
+  bool IsAlive(NodeId id) const;
+
+  double now() const { return loop_->now(); }
+  EventLoop* loop() { return loop_; }
+  const CostModel& cost() const { return cost_; }
+  MetricRegistry& metrics() { return metrics_; }
+  size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct InboxEntry {
+    NodeId src = 0;
+    PayloadPtr payload;                // null for timer entries
+    std::function<void()> timer_fn;    // set for timer entries
+  };
+
+  struct NodeState {
+    Node* node = nullptr;
+    HostId host = 0;
+    double speed = 1.0;
+    bool alive = true;
+    uint32_t incarnation = 0;
+    std::deque<InboxEntry> inbox;
+    double busy_until = 0.0;
+    bool pump_scheduled = false;
+  };
+
+  struct HostState {
+    double egress_busy = 0.0;
+    double ingress_busy = 0.0;
+  };
+
+  // Sender-side reliable channel bookkeeping.
+  struct PendingSend {
+    NodeId dst = 0;
+    uint32_t dst_inc = 0;  // receiver incarnation the channel targets
+    PayloadPtr payload;
+    double timeout = 0.0;
+    int retries = 0;
+    EventId timer = 0;
+  };
+  struct SendChannel {
+    uint64_t next_seq = 1;
+    std::unordered_map<uint64_t, PendingSend> unacked;
+  };
+
+  // Receiver-side ordered-delivery bookkeeping per (src, src_incarnation):
+  // reliable channels behave like TCP streams — duplicates are dropped and
+  // out-of-order arrivals are held until the sequence gap fills.
+  struct HeldMessage {
+    NodeId src = 0;
+    PayloadPtr payload;
+  };
+  struct RecvChannel {
+    uint64_t contiguous = 0;                  // all seq <= this delivered
+    std::map<uint64_t, HeldMessage> held;     // arrived out of order
+  };
+
+  // A channel is one "TCP connection": it exists between specific
+  // incarnations of the two endpoints. Either endpoint restarting starts a
+  // fresh channel with a fresh sequence space.
+  static uint64_t ChannelKey(NodeId src, uint32_t src_inc, NodeId dst,
+                             uint32_t dst_inc) {
+    return (static_cast<uint64_t>(src & 0x3FFF) << 42) |
+           (static_cast<uint64_t>(src_inc & 0x3FFF) << 28) |
+           (static_cast<uint64_t>(dst & 0x3FFF) << 14) |
+           static_cast<uint64_t>(dst_inc & 0x3FFF);
+  }
+
+  void TransmitToHost(NodeId src, NodeId dst, uint32_t src_inc, uint64_t seq,
+                      PayloadPtr payload, bool reliable, bool retransmit);
+  void ArriveAtNode(NodeId src, NodeId dst, uint32_t src_inc,
+                    uint32_t dst_inc, uint64_t seq, PayloadPtr payload,
+                    bool reliable);
+  void EnqueueAtNode(NodeId src, NodeId dst, PayloadPtr payload);
+  void DeliverTransportAck(NodeId src, uint32_t src_inc, NodeId dst,
+                           uint32_t dst_inc, uint64_t seq);
+  void ScheduleRetransmit(uint64_t channel_key, uint64_t seq, NodeId src);
+  void SchedulePump(NodeId id);
+  void Pump(NodeId id, uint32_t incarnation);
+  double SampleLatency();
+
+  EventLoop* loop_;
+  CostModel cost_;
+  Rng rng_;
+  MetricRegistry metrics_;
+  std::vector<NodeState> nodes_;
+  std::vector<HostState> hosts_;
+  std::unordered_map<uint64_t, SendChannel> send_channels_;
+  std::unordered_map<uint64_t, RecvChannel> recv_channels_;
+  double handler_extra_cost_ = 0.0;
+};
+
+}  // namespace tornado
+
+#endif  // TORNADO_NET_NETWORK_H_

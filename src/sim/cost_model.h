@@ -1,0 +1,53 @@
+#ifndef TORNADO_SIM_COST_MODEL_H_
+#define TORNADO_SIM_COST_MODEL_H_
+
+namespace tornado {
+
+/// Virtual-time cost parameters of the simulated cluster.
+///
+/// Defaults are calibrated against the paper's testbed (20 nodes, AMD
+/// Opteron 4180, gigabit interconnect, Postgres-backed state) so that
+/// the reproduced experiments land in the same order of magnitude as the
+/// published numbers; the *shapes* of the results are insensitive to the
+/// exact values (see EXPERIMENTS.md).
+struct CostModel {
+  /// One-way network latency between hosts (seconds), plus multiplicative
+  /// uniform jitter in [1-jitter, 1+jitter].
+  double net_latency = 2.5e-4;
+  double net_jitter = 0.4;
+
+  /// Per-message NIC wire time at both the sending and receiving host.
+  /// The reciprocal is the per-host message rate; the aggregate cluster
+  /// rate saturates once worker threads outnumber physical hosts (Fig 9b).
+  double nic_wire_time = 1.1e-5;
+
+  /// Messages between co-located workers skip the NIC and use this latency.
+  double local_latency = 2e-5;
+
+  /// Base CPU cost of popping and decoding one message at a worker.
+  double per_message_cpu = 4e-6;
+
+  /// CPU cost of one user gather()/scatter() call; workloads add their own
+  /// extra cost through VertexContext::AddCost().
+  double per_update_cpu = 1.2e-5;
+
+  /// Materializing one committed vertex version to the state store.
+  double store_write_cost = 6e-6;
+
+  /// Checkpoint flush: fixed fsync-like cost plus per-dirty-version cost.
+  /// Charged before a processor reports iteration progress (Section 5.3).
+  double flush_base_cost = 2.0e-3;
+  double flush_per_version = 1.0e-5;
+
+  /// Reliable-delivery ack timeout before a message is retransmitted, and
+  /// the exponential backoff cap.
+  double ack_timeout = 0.25;
+  double ack_timeout_max = 4.0;
+
+  /// Master progress-collection period (how often processors report).
+  double progress_period = 5e-3;
+};
+
+}  // namespace tornado
+
+#endif  // TORNADO_SIM_COST_MODEL_H_

@@ -1,0 +1,72 @@
+#include "sim/event_loop.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace tornado {
+
+EventId EventLoop::Schedule(double delay, Callback fn) {
+  if (delay < 0.0) delay = 0.0;
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+EventId EventLoop::ScheduleAt(double time, Callback fn) {
+  if (time < now_) time = now_;
+  const EventId id = next_id_++;
+  queue_.push(Event{time, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+void EventLoop::Cancel(EventId id) {
+  if (callbacks_.count(id) > 0) {
+    cancelled_.insert(id);
+  }
+}
+
+bool EventLoop::FireNext() {
+  while (!queue_.empty()) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    if (cancelled_.erase(ev.id) > 0) {
+      callbacks_.erase(ev.id);
+      continue;
+    }
+    auto it = callbacks_.find(ev.id);
+    TCHECK(it != callbacks_.end()) << "event without callback";
+    Callback fn = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = ev.time;
+    ++fired_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+uint64_t EventLoop::Run() {
+  uint64_t n = 0;
+  while (!budget_exhausted() && FireNext()) ++n;
+  return n;
+}
+
+uint64_t EventLoop::RunUntil(double deadline) {
+  uint64_t n = 0;
+  while (!budget_exhausted() && !queue_.empty()) {
+    // Peek past cancelled tombstones to find the next real event time.
+    while (!queue_.empty() && cancelled_.count(queue_.top().id) > 0) {
+      cancelled_.erase(queue_.top().id);
+      callbacks_.erase(queue_.top().id);
+      queue_.pop();
+    }
+    if (queue_.empty() || queue_.top().time > deadline) break;
+    if (FireNext()) ++n;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+bool EventLoop::Step() { return FireNext(); }
+
+}  // namespace tornado

@@ -1,0 +1,83 @@
+#ifndef TORNADO_SIM_EVENT_LOOP_H_
+#define TORNADO_SIM_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace tornado {
+
+/// Identifies a scheduled event so it can be cancelled.
+using EventId = uint64_t;
+
+/// Deterministic discrete-event loop with a virtual clock (seconds).
+///
+/// The simulated cluster — processors, master, ingesters, the network —
+/// runs entirely on this loop. Determinism comes from (time, insertion
+/// sequence) ordering: two events at the same virtual time fire in the
+/// order they were scheduled, so a fixed RNG seed yields a bit-identical
+/// execution, which the tests rely on.
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `fn` to run `delay` seconds from now. Negative delays clamp
+  /// to zero (fire "immediately", after already-queued same-time events).
+  EventId Schedule(double delay, Callback fn);
+
+  /// Schedules `fn` at an absolute virtual time (clamped to >= now).
+  EventId ScheduleAt(double time, Callback fn);
+
+  /// Cancels a pending event. Cancelling an already-fired or unknown event
+  /// is a no-op.
+  void Cancel(EventId id);
+
+  /// Runs events until the queue drains. Returns the number of events fired.
+  uint64_t Run();
+
+  /// Runs events with time <= `deadline`; the clock then advances to
+  /// `deadline` (if it was behind). Returns the number of events fired.
+  uint64_t RunUntil(double deadline);
+
+  /// Fires the single next event. Returns false if the queue is empty.
+  bool Step();
+
+  double now() const { return now_; }
+  bool empty() const { return queue_.size() == cancelled_.size(); }
+  size_t pending() const { return queue_.size() - cancelled_.size(); }
+
+  /// Hard cap on total events fired by Run()/RunUntil(); guards against
+  /// runaway retransmission loops in failure tests. 0 = unlimited.
+  void set_event_budget(uint64_t budget) { event_budget_ = budget; }
+  bool budget_exhausted() const {
+    return event_budget_ != 0 && fired_ >= event_budget_;
+  }
+
+ private:
+  struct Event {
+    double time;
+    EventId id;
+    // Ordered as a max-heap by default; invert for earliest-first.
+    bool operator<(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return id > other.id;
+    }
+  };
+
+  bool FireNext();
+
+  double now_ = 0.0;
+  EventId next_id_ = 1;
+  uint64_t fired_ = 0;
+  uint64_t event_budget_ = 0;
+  std::priority_queue<Event> queue_;
+  std::unordered_map<EventId, Callback> callbacks_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace tornado
+
+#endif  // TORNADO_SIM_EVENT_LOOP_H_

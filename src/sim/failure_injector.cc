@@ -1,0 +1,19 @@
+#include "sim/failure_injector.h"
+
+#include "net/network.h"
+
+namespace tornado {
+
+void FailureInjector::KillAt(NodeId node, double at) {
+  network_->loop()->ScheduleAt(at, [net = network_, node]() {
+    net->KillNode(node);
+  });
+}
+
+void FailureInjector::RecoverAt(NodeId node, double at) {
+  network_->loop()->ScheduleAt(at, [net = network_, node]() {
+    net->RecoverNode(node);
+  });
+}
+
+}  // namespace tornado

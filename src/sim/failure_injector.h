@@ -1,0 +1,37 @@
+#ifndef TORNADO_SIM_FAILURE_INJECTOR_H_
+#define TORNADO_SIM_FAILURE_INJECTOR_H_
+
+#include <vector>
+
+#include "net/payload.h"
+
+namespace tornado {
+
+class Network;
+
+/// Schedules node kill/recover actions at virtual times. Used by the
+/// fault-tolerance experiments (Figures 8c and 8d: master failure and
+/// single-processor failure) and by the failure-injection tests.
+class FailureInjector {
+ public:
+  explicit FailureInjector(Network* network) : network_(network) {}
+
+  /// Kills `node` at virtual time `at`.
+  void KillAt(NodeId node, double at);
+
+  /// Recovers `node` at virtual time `at`.
+  void RecoverAt(NodeId node, double at);
+
+  /// Kills at `at` and recovers `downtime` seconds later.
+  void CrashFor(NodeId node, double at, double downtime) {
+    KillAt(node, at);
+    RecoverAt(node, at + downtime);
+  }
+
+ private:
+  Network* network_;
+};
+
+}  // namespace tornado
+
+#endif  // TORNADO_SIM_FAILURE_INJECTOR_H_

@@ -1,0 +1,91 @@
+#include "storage/durable_store.h"
+
+#include <algorithm>
+
+namespace tornado {
+
+Result<size_t> DurableStore::Open(const std::string& path) {
+  path_ = path;
+  size_t recovered = 0;
+  {
+    CheckpointLog reader;
+    auto replayed = reader.Replay(path, &store_);
+    if (replayed.ok()) {
+      recovered = *replayed;
+    } else if (replayed.status().code() != StatusCode::kNotFound) {
+      return replayed.status();
+    }
+  }
+  // Mark replayed content durable so Flush does not re-append it.
+  // (Replay() only creates versions that were durable when written.)
+  // Loops present after replay get their watermark set to their newest
+  // replayed iteration.
+  for (LoopId loop : CollectLoops()) {
+    Iteration newest = 0;
+    bool any = false;
+    for (VertexId v : store_.VerticesOf(loop)) {
+      const auto* latest = store_.GetLatest(loop, v);
+      if (latest == nullptr) continue;
+      const Iteration it = store_.GetVersionIteration(loop, v, kNoIteration - 1);
+      newest = std::max(newest, it);
+      any = true;
+    }
+    if (any) store_.Flush(loop, newest);
+  }
+
+  if (Status s = log_.Open(path); !s.ok()) return s;
+  return recovered;
+}
+
+std::vector<LoopId> DurableStore::CollectLoops() const {
+  // The store has no loop-enumeration API (the engine always knows its
+  // loops); probe the ids the engine uses: main loop plus branch ids are
+  // assigned densely from 1, and the master journal uses 0xFFFFFFFE.
+  std::vector<LoopId> loops;
+  for (LoopId candidate = 0; candidate < 4096; ++candidate) {
+    if (!store_.VerticesOf(candidate).empty()) loops.push_back(candidate);
+  }
+  if (!store_.VerticesOf(0xFFFFFFFEu).empty()) loops.push_back(0xFFFFFFFEu);
+  return loops;
+}
+
+void DurableStore::Put(LoopId loop, VertexId vertex, Iteration iteration,
+                       std::vector<uint8_t> value) {
+  store_.Put(loop, vertex, iteration, std::move(value));
+}
+
+Result<size_t> DurableStore::Flush(LoopId loop, Iteration iteration) {
+  if (!log_.is_open()) {
+    return Status::FailedPrecondition("durable store is not open");
+  }
+  // Append every version that the new watermark covers and the old one did
+  // not, in deterministic (vertex, iteration) order.
+  const Iteration old_watermark = store_.DurableIteration(loop);
+  size_t persisted = 0;
+  std::vector<VertexId> vertices = store_.VerticesOf(loop);
+  std::sort(vertices.begin(), vertices.end());
+  for (VertexId v : vertices) {
+    // Walk this vertex's chain between the watermarks.
+    Iteration at = iteration;
+    std::vector<std::pair<Iteration, const std::vector<uint8_t>*>> pending;
+    while (true) {
+      const auto* value = store_.Get(loop, v, at);
+      if (value == nullptr) break;
+      const Iteration version = store_.GetVersionIteration(loop, v, at);
+      if (old_watermark != kNoIteration && version <= old_watermark) break;
+      pending.emplace_back(version, value);
+      if (version == 0) break;
+      at = version - 1;
+    }
+    for (auto it = pending.rbegin(); it != pending.rend(); ++it) {
+      if (Status s = log_.Append(loop, v, it->first, *it->second); !s.ok()) {
+        return s;
+      }
+      ++persisted;
+    }
+  }
+  store_.Flush(loop, iteration);
+  return persisted;
+}
+
+}  // namespace tornado

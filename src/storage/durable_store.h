@@ -1,0 +1,55 @@
+#ifndef TORNADO_STORAGE_DURABLE_STORE_H_
+#define TORNADO_STORAGE_DURABLE_STORE_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/checkpoint_log.h"
+#include "storage/versioned_store.h"
+
+namespace tornado {
+
+/// A VersionedStore bonded to an on-disk checkpoint log: versions become
+/// durable on Flush (appended to the log), and a fresh process can rebuild
+/// the durable prefix of the store with Recover(). This is the file-backed
+/// state backend for users embedding the library outside the simulated
+/// cluster; inside the simulation the flush cost model stands in for the
+/// physical I/O this class performs.
+class DurableStore {
+ public:
+  DurableStore() = default;
+
+  /// Opens (or creates) the log at `path` and replays any existing durable
+  /// versions into the in-memory store. Returns the number of records
+  /// recovered.
+  Result<size_t> Open(const std::string& path);
+
+  /// See VersionedStore::Put. Writes are buffered in memory until Flush.
+  void Put(LoopId loop, VertexId vertex, Iteration iteration,
+           std::vector<uint8_t> value);
+
+  /// Makes all versions of `loop` up to `iteration` durable: appends the
+  /// newly-covered versions to the log, then advances the watermark.
+  /// Returns the number of versions persisted.
+  Result<size_t> Flush(LoopId loop, Iteration iteration);
+
+  /// Drops everything newer than the durable watermark (crash recovery of
+  /// the in-memory state without re-reading the log).
+  void RecoverToDurable(LoopId loop) { store_.RecoverToDurable(loop); }
+
+  VersionedStore& store() { return store_; }
+  const VersionedStore& store() const { return store_; }
+
+  Status Close() { return log_.Close(); }
+
+ private:
+  std::vector<LoopId> CollectLoops() const;
+
+  VersionedStore store_;
+  CheckpointLog log_;
+  std::string path_;
+};
+
+}  // namespace tornado
+
+#endif  // TORNADO_STORAGE_DURABLE_STORE_H_

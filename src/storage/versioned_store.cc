@@ -1,0 +1,226 @@
+#include "storage/versioned_store.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace tornado {
+
+namespace {
+bool CoveredBy(Iteration iter, Iteration watermark) {
+  return watermark != kNoIteration && iter <= watermark;
+}
+}  // namespace
+
+void VersionedStore::Put(LoopId loop, VertexId vertex, Iteration iteration,
+                         std::vector<uint8_t> value) {
+  LoopData& data = loops_[loop];
+  Chain& chain = data.chains[vertex];
+  auto [it, inserted] = chain.versions.emplace(iteration, std::move(value));
+  if (!inserted) {
+    it->second = std::move(value);
+  }
+  if (inserted && !CoveredBy(iteration, data.durable)) {
+    ++data.dirty;
+  }
+}
+
+const VersionedStore::Chain* VersionedStore::FindChain(LoopId loop,
+                                                       VertexId vertex) const {
+  auto loop_it = loops_.find(loop);
+  if (loop_it == loops_.end()) return nullptr;
+  auto chain_it = loop_it->second.chains.find(vertex);
+  if (chain_it == loop_it->second.chains.end()) return nullptr;
+  return &chain_it->second;
+}
+
+const std::vector<uint8_t>* VersionedStore::Get(LoopId loop, VertexId vertex,
+                                                Iteration at) const {
+  const Chain* chain = FindChain(loop, vertex);
+  if (chain == nullptr || chain->versions.empty()) return nullptr;
+  auto it = chain->versions.upper_bound(at);
+  if (it == chain->versions.begin()) return nullptr;
+  return &std::prev(it)->second;
+}
+
+Iteration VersionedStore::GetVersionIteration(LoopId loop, VertexId vertex,
+                                              Iteration at) const {
+  const Chain* chain = FindChain(loop, vertex);
+  if (chain == nullptr || chain->versions.empty()) return kNoIteration;
+  auto it = chain->versions.upper_bound(at);
+  if (it == chain->versions.begin()) return kNoIteration;
+  return std::prev(it)->first;
+}
+
+const std::vector<uint8_t>* VersionedStore::GetLatest(LoopId loop,
+                                                      VertexId vertex) const {
+  const Chain* chain = FindChain(loop, vertex);
+  if (chain == nullptr || chain->versions.empty()) return nullptr;
+  return &chain->versions.rbegin()->second;
+}
+
+std::vector<VertexId> VersionedStore::VerticesOf(LoopId loop) const {
+  std::vector<VertexId> out;
+  auto it = loops_.find(loop);
+  if (it == loops_.end()) return out;
+  out.reserve(it->second.chains.size());
+  for (const auto& [vertex, chain] : it->second.chains) {
+    if (!chain.versions.empty()) out.push_back(vertex);
+  }
+  return out;
+}
+
+std::vector<VertexId> VersionedStore::VerticesWithVersionAt(
+    LoopId loop, Iteration iteration) const {
+  std::vector<VertexId> out;
+  auto it = loops_.find(loop);
+  if (it == loops_.end()) return out;
+  for (const auto& [vertex, chain] : it->second.chains) {
+    if (chain.versions.count(iteration) > 0) out.push_back(vertex);
+  }
+  return out;
+}
+
+size_t VersionedStore::VersionCount(LoopId loop, VertexId vertex) const {
+  const Chain* chain = FindChain(loop, vertex);
+  return chain == nullptr ? 0 : chain->versions.size();
+}
+
+size_t VersionedStore::Flush(LoopId loop, Iteration iteration) {
+  auto it = loops_.find(loop);
+  if (it == loops_.end()) return 0;
+  LoopData& data = it->second;
+  if (CoveredBy(iteration, data.durable)) return 0;
+
+  size_t flushed = 0;
+  for (const auto& [vertex, chain] : data.chains) {
+    for (const auto& [ver_iter, value] : chain.versions) {
+      if (ver_iter > iteration) break;
+      if (!CoveredBy(ver_iter, data.durable)) ++flushed;
+    }
+  }
+  data.durable = iteration;
+  TCHECK_GE(data.dirty, flushed);
+  data.dirty -= flushed;
+  return flushed;
+}
+
+size_t VersionedStore::DirtyVersions(LoopId loop) const {
+  auto it = loops_.find(loop);
+  return it == loops_.end() ? 0 : it->second.dirty;
+}
+
+Iteration VersionedStore::DurableIteration(LoopId loop) const {
+  auto it = loops_.find(loop);
+  return it == loops_.end() ? kNoIteration : it->second.durable;
+}
+
+void VersionedStore::TruncateAfter(LoopId loop, Iteration iteration) {
+  auto it = loops_.find(loop);
+  if (it == loops_.end()) return;
+  LoopData& data = it->second;
+  for (auto& [vertex, chain] : data.chains) {
+    auto first_gone = chain.versions.upper_bound(iteration);
+    for (auto v = first_gone; v != chain.versions.end(); ++v) {
+      if (!CoveredBy(v->first, data.durable)) {
+        TCHECK_GT(data.dirty, 0u);
+        --data.dirty;
+      }
+    }
+    chain.versions.erase(first_gone, chain.versions.end());
+  }
+  if (data.durable != kNoIteration && data.durable > iteration) {
+    data.durable = iteration;
+  }
+}
+
+size_t VersionedStore::PruneBelow(LoopId loop, Iteration iteration) {
+  auto it = loops_.find(loop);
+  if (it == loops_.end()) return 0;
+  LoopData& data = it->second;
+  size_t removed = 0;
+  for (auto& [vertex, chain] : data.chains) {
+    auto keep = chain.versions.upper_bound(iteration);
+    if (keep == chain.versions.begin()) continue;
+    --keep;  // newest version <= iteration stays: it is the snapshot base
+    for (auto v = chain.versions.begin(); v != keep; ++v) {
+      if (!CoveredBy(v->first, data.durable)) {
+        TCHECK_GT(data.dirty, 0u);
+        --data.dirty;
+      }
+      ++removed;
+    }
+    chain.versions.erase(chain.versions.begin(), keep);
+  }
+  return removed;
+}
+
+void VersionedStore::RecoverToDurable(LoopId loop) {
+  auto it = loops_.find(loop);
+  if (it == loops_.end()) return;
+  const Iteration watermark = it->second.durable;
+  if (watermark == kNoIteration) {
+    loops_.erase(it);
+    return;
+  }
+  TruncateAfter(loop, watermark);
+}
+
+void VersionedStore::DropLoop(LoopId loop) { loops_.erase(loop); }
+
+size_t VersionedStore::ForkLoop(LoopId src, Iteration iteration, LoopId dst) {
+  auto src_it = loops_.find(src);
+  if (src_it == loops_.end()) return 0;
+  size_t copied = 0;
+  // Collect first: dst may alias internal rehash if src == dst is misused.
+  TCHECK_NE(src, dst);
+  std::vector<std::pair<VertexId, std::vector<uint8_t>>> snapshot;
+  for (const auto& [vertex, chain] : src_it->second.chains) {
+    auto v = chain.versions.upper_bound(iteration);
+    if (v == chain.versions.begin()) continue;
+    snapshot.emplace_back(vertex, std::prev(v)->second);
+  }
+  for (auto& [vertex, value] : snapshot) {
+    Put(dst, vertex, 0, std::move(value));
+    ++copied;
+  }
+  return copied;
+}
+
+size_t VersionedStore::MergeLoop(LoopId src, LoopId dst,
+                                 Iteration dst_iteration) {
+  auto src_it = loops_.find(src);
+  if (src_it == loops_.end()) return 0;
+  TCHECK_NE(src, dst);
+  size_t merged = 0;
+  std::vector<std::pair<VertexId, std::vector<uint8_t>>> latest;
+  for (const auto& [vertex, chain] : src_it->second.chains) {
+    if (chain.versions.empty()) continue;
+    latest.emplace_back(vertex, chain.versions.rbegin()->second);
+  }
+  for (auto& [vertex, value] : latest) {
+    Put(dst, vertex, dst_iteration, std::move(value));
+    ++merged;
+  }
+  return merged;
+}
+
+size_t VersionedStore::TotalVersions() const {
+  size_t n = 0;
+  for (const auto& [loop, data] : loops_) {
+    for (const auto& [vertex, chain] : data.chains) n += chain.versions.size();
+  }
+  return n;
+}
+
+size_t VersionedStore::TotalBytes() const {
+  size_t n = 0;
+  for (const auto& [loop, data] : loops_) {
+    for (const auto& [vertex, chain] : data.chains) {
+      for (const auto& [iter, value] : chain.versions) n += value.size();
+    }
+  }
+  return n;
+}
+
+}  // namespace tornado

@@ -1,0 +1,116 @@
+#ifndef TORNADO_STORAGE_VERSIONED_STORE_H_
+#define TORNADO_STORAGE_VERSIONED_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace tornado {
+
+/// Multi-versioned vertex-state store: the stand-in for the external
+/// database (PostgreSQL / LMDB) Tornado materializes vertex versions into.
+///
+/// Keys are (loop, vertex); each key holds a version chain ordered by
+/// iteration number. The engine appends a version whenever a vertex commits
+/// (Section 5.1: "After the vertex's update is committed, the new version
+/// of the vertex will be ... written to the storage") and reads
+/// snapshot-consistent states when forking branch loops (Section 5.2: "the
+/// most recent versions of vertices that are not greater than i will be
+/// selected in the snapshot").
+///
+/// Durability model: a Put is immediately visible but only *durable* after
+/// a Flush covering its iteration (processors flush before reporting
+/// progress, Section 5.3). Recovery truncates each chain back to the
+/// durable watermark.
+class VersionedStore {
+ public:
+  /// Appends (or overwrites) the version of `vertex` at `iteration`.
+  void Put(LoopId loop, VertexId vertex, Iteration iteration,
+           std::vector<uint8_t> value);
+
+  /// Latest version with iteration <= `at`, or nullptr if none exists.
+  const std::vector<uint8_t>* Get(LoopId loop, VertexId vertex,
+                                  Iteration at) const;
+
+  /// Iteration of the version returned by Get, or kNoIteration.
+  Iteration GetVersionIteration(LoopId loop, VertexId vertex,
+                                Iteration at) const;
+
+  /// Latest version regardless of iteration, or nullptr.
+  const std::vector<uint8_t>* GetLatest(LoopId loop, VertexId vertex) const;
+
+  /// All vertices that have at least one version in `loop`.
+  std::vector<VertexId> VerticesOf(LoopId loop) const;
+
+  /// All vertices that have a version at exactly `iteration` (used by
+  /// processors to adopt branch results merged at tau + B).
+  std::vector<VertexId> VerticesWithVersionAt(LoopId loop,
+                                              Iteration iteration) const;
+
+  /// Number of versions of `vertex` in `loop`.
+  size_t VersionCount(LoopId loop, VertexId vertex) const;
+
+  /// Marks all versions of `loop` with iteration <= `iteration` durable and
+  /// returns how many versions became durable by this call (the flush cost
+  /// is proportional to it).
+  size_t Flush(LoopId loop, Iteration iteration);
+
+  /// Number of versions written after the durable watermark (pending I/O).
+  size_t DirtyVersions(LoopId loop) const;
+
+  /// Durable watermark of `loop` (kNoIteration if never flushed).
+  Iteration DurableIteration(LoopId loop) const;
+
+  /// Drops all versions newer than `iteration` (global rollback used when
+  /// the computation restarts from the last terminated iteration).
+  void TruncateAfter(LoopId loop, Iteration iteration);
+
+  /// Garbage-collects history: for every chain, drops versions older than
+  /// the newest version at or below `iteration` (which is kept — it is the
+  /// snapshot fork point). Returns the number of versions removed. The
+  /// master prunes below the last terminated iteration; nothing older can
+  /// be forked or rolled back to.
+  size_t PruneBelow(LoopId loop, Iteration iteration);
+
+  /// Drops everything newer than the durable watermark.
+  void RecoverToDurable(LoopId loop);
+
+  /// Removes a finished branch loop's data.
+  void DropLoop(LoopId loop);
+
+  /// Copies the snapshot of `src` at `iteration` into `dst` as its
+  /// iteration-0 baseline (branch-loop fork). Returns #vertices copied.
+  size_t ForkLoop(LoopId src, Iteration iteration, LoopId dst);
+
+  /// Copies every vertex's latest version of `src` into `dst_iteration` of
+  /// `dst` (merging converged branch results back into the main loop at
+  /// iteration τ+B, Section 5.2). Returns #vertices merged.
+  size_t MergeLoop(LoopId src, LoopId dst, Iteration dst_iteration);
+
+  size_t TotalVersions() const;
+  size_t TotalBytes() const;
+
+ private:
+  struct Chain {
+    // iteration -> serialized state. std::map keeps versions ordered so
+    // snapshot reads are upper_bound lookups.
+    std::map<Iteration, std::vector<uint8_t>> versions;
+  };
+  struct LoopData {
+    std::unordered_map<VertexId, Chain> chains;
+    Iteration durable = kNoIteration;
+    size_t dirty = 0;
+  };
+
+  const Chain* FindChain(LoopId loop, VertexId vertex) const;
+
+  std::unordered_map<LoopId, LoopData> loops_;
+};
+
+}  // namespace tornado
+
+#endif  // TORNADO_STORAGE_VERSIONED_STORE_H_

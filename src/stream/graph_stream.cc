@@ -1,0 +1,51 @@
+#include "stream/graph_stream.h"
+
+#include <utility>
+
+namespace tornado {
+
+GraphStream::GraphStream(GraphStreamOptions options)
+    : options_(options), rng_(options.seed) {
+  endpoint_pool_.reserve(1024);
+  for (uint32_t i = 0; i < options_.source_hub_weight; ++i) {
+    endpoint_pool_.push_back(0);
+  }
+}
+
+VertexId GraphStream::SampleEndpoint() {
+  if (!endpoint_pool_.empty() && rng_.NextBool(options_.preferential)) {
+    return endpoint_pool_[rng_.NextUint64(endpoint_pool_.size())];
+  }
+  return rng_.NextUint64(options_.num_vertices);
+}
+
+std::optional<StreamTuple> GraphStream::Next() {
+  if (emitted_ >= options_.num_tuples) return std::nullopt;
+
+  StreamTuple tuple;
+  tuple.sequence = emitted_++;
+
+  const bool retract =
+      !live_edges_.empty() && rng_.NextBool(options_.deletion_ratio);
+  if (retract) {
+    const size_t idx = rng_.NextUint64(live_edges_.size());
+    const LiveEdge edge = live_edges_[idx];
+    live_edges_[idx] = live_edges_.back();
+    live_edges_.pop_back();
+    tuple.delta = EdgeDelta{edge.src, edge.dst, edge.weight, /*insert=*/false};
+    return tuple;
+  }
+
+  VertexId src = SampleEndpoint();
+  VertexId dst = SampleEndpoint();
+  if (src == dst) dst = (dst + 1) % options_.num_vertices;
+  const double weight =
+      rng_.NextDouble(options_.min_weight, options_.max_weight);
+  endpoint_pool_.push_back(src);
+  endpoint_pool_.push_back(dst);
+  live_edges_.push_back(LiveEdge{src, dst, weight});
+  tuple.delta = EdgeDelta{src, dst, weight, /*insert=*/true};
+  return tuple;
+}
+
+}  // namespace tornado

@@ -1,0 +1,68 @@
+#ifndef TORNADO_STREAM_GRAPH_STREAM_H_
+#define TORNADO_STREAM_GRAPH_STREAM_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "stream/stream_source.h"
+
+namespace tornado {
+
+/// Parameters of the synthetic retractable edge stream.
+struct GraphStreamOptions {
+  uint64_t num_vertices = 10000;
+  uint64_t num_tuples = 50000;
+
+  /// Probability that an endpoint is chosen by preferential attachment
+  /// (copying an endpoint of an earlier edge) rather than uniformly; this
+  /// yields the heavy-tailed degree distribution of web/social graphs such
+  /// as LiveJournal.
+  double preferential = 0.6;
+
+  /// Fraction of tuples that retract a previously inserted edge.
+  double deletion_ratio = 0.05;
+
+  /// Seeds the preferential-attachment pool with this many copies of
+  /// vertex 0, making it an early hub. SSSP benchmarks use vertex 0 as the
+  /// source; without the bias a random vertex in a sparse digraph often
+  /// has a near-empty out-component and the workload degenerates.
+  uint32_t source_hub_weight = 0;
+
+  double min_weight = 1.0;
+  double max_weight = 10.0;
+  uint64_t seed = 42;
+};
+
+/// Scaled-down stand-in for the LiveJournal edge stream: a power-law
+/// multigraph generated edge-by-edge, with a configurable share of
+/// deletions (the paper's crawler input is "a retractable edge stream").
+class GraphStream : public StreamSource {
+ public:
+  explicit GraphStream(GraphStreamOptions options);
+
+  std::optional<StreamTuple> Next() override;
+  size_t TotalTuples() const override { return options_.num_tuples; }
+  size_t Emitted() const override { return emitted_; }
+
+  const GraphStreamOptions& options() const { return options_; }
+
+ private:
+  VertexId SampleEndpoint();
+
+  GraphStreamOptions options_;
+  Rng rng_;
+  size_t emitted_ = 0;
+  std::vector<VertexId> endpoint_pool_;
+  struct LiveEdge {
+    VertexId src, dst;
+    double weight;
+  };
+  std::vector<LiveEdge> live_edges_;
+};
+
+}  // namespace tornado
+
+#endif  // TORNADO_STREAM_GRAPH_STREAM_H_

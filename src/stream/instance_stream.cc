@@ -1,0 +1,57 @@
+#include "stream/instance_stream.h"
+
+#include <algorithm>
+
+namespace tornado {
+
+InstanceStream::InstanceStream(InstanceStreamOptions options)
+    : options_(options), rng_(options.seed) {
+  true_weights_.resize(options_.dimensions);
+  for (auto& w : true_weights_) w = rng_.NextGaussian(0.0, 1.0);
+}
+
+std::optional<StreamTuple> InstanceStream::Next() {
+  if (emitted_ >= options_.num_tuples) return std::nullopt;
+
+  StreamTuple tuple;
+  tuple.sequence = emitted_;
+
+  if (options_.concept_drift > 0.0) {
+    for (auto& w : true_weights_) {
+      w += rng_.NextGaussian(0.0, options_.concept_drift);
+    }
+  }
+
+  InstanceDelta inst;
+  inst.id = emitted_;
+  inst.insert = true;
+
+  double dot = 0.0;
+  if (options_.sparse) {
+    inst.features.reserve(options_.sparsity_nnz);
+    for (uint32_t k = 0; k < options_.sparsity_nnz; ++k) {
+      const uint32_t idx = static_cast<uint32_t>(
+          rng_.NextZipf(options_.dimensions, options_.zipf_exponent));
+      const double value = rng_.NextDouble(0.5, 1.5);
+      inst.features.emplace_back(idx, value);
+      dot += true_weights_[idx] * value;
+    }
+    std::sort(inst.features.begin(), inst.features.end());
+  } else {
+    inst.features.reserve(options_.dimensions);
+    for (uint32_t d = 0; d < options_.dimensions; ++d) {
+      const double value = rng_.NextGaussian(0.0, 1.0);
+      inst.features.emplace_back(d, value);
+      dot += true_weights_[d] * value;
+    }
+  }
+
+  inst.label = dot >= 0.0 ? 1.0 : -1.0;
+  if (rng_.NextBool(options_.label_noise)) inst.label = -inst.label;
+
+  tuple.delta = std::move(inst);
+  ++emitted_;
+  return tuple;
+}
+
+}  // namespace tornado

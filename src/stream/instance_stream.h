@@ -1,0 +1,57 @@
+#ifndef TORNADO_STREAM_INSTANCE_STREAM_H_
+#define TORNADO_STREAM_INSTANCE_STREAM_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "stream/stream_source.h"
+
+namespace tornado {
+
+/// Parameters of the synthetic labelled-instance stream used by the SGD
+/// workloads (SVM on a HIGGS-like dense stream, logistic regression on a
+/// PubMed-like sparse bag-of-words stream).
+struct InstanceStreamOptions {
+  uint32_t dimensions = 28;
+  uint64_t num_tuples = 20000;
+
+  /// Dense mode emits every feature; sparse mode samples `sparsity_nnz`
+  /// feature indices per instance with Zipf-distributed popularity.
+  bool sparse = false;
+  uint32_t sparsity_nnz = 40;
+  double zipf_exponent = 1.1;
+
+  /// Label noise: probability that an instance's label is flipped.
+  double label_noise = 0.05;
+
+  /// Per-tuple drift of the true separating hyperplane, so the model the
+  /// loop is chasing evolves over time.
+  double concept_drift = 0.0;
+
+  uint64_t seed = 13;
+};
+
+/// Emits instances labelled by a (possibly drifting) ground-truth linear
+/// model: label = sign(w* · x + b + noise).
+class InstanceStream : public StreamSource {
+ public:
+  explicit InstanceStream(InstanceStreamOptions options);
+
+  std::optional<StreamTuple> Next() override;
+  size_t TotalTuples() const override { return options_.num_tuples; }
+  size_t Emitted() const override { return emitted_; }
+
+  const std::vector<double>& true_weights() const { return true_weights_; }
+
+ private:
+  InstanceStreamOptions options_;
+  Rng rng_;
+  size_t emitted_ = 0;
+  std::vector<double> true_weights_;
+};
+
+}  // namespace tornado
+
+#endif  // TORNADO_STREAM_INSTANCE_STREAM_H_

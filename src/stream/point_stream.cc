@@ -1,0 +1,49 @@
+#include "stream/point_stream.h"
+
+namespace tornado {
+
+PointStream::PointStream(PointStreamOptions options)
+    : options_(options), rng_(options.seed) {
+  centroids_.resize(options_.num_clusters);
+  for (auto& c : centroids_) {
+    c.resize(options_.dimensions);
+    for (auto& x : c) x = rng_.NextDouble(0.0, options_.space_extent);
+  }
+}
+
+std::optional<StreamTuple> PointStream::Next() {
+  if (emitted_ >= options_.num_tuples) return std::nullopt;
+
+  StreamTuple tuple;
+  tuple.sequence = emitted_++;
+
+  if (options_.drift > 0.0) {
+    for (auto& c : centroids_) {
+      for (auto& x : c) x += rng_.NextGaussian(0.0, options_.drift);
+    }
+  }
+
+  const bool retract =
+      !live_points_.empty() && rng_.NextBool(options_.deletion_ratio);
+  if (retract) {
+    const size_t idx = rng_.NextUint64(live_points_.size());
+    auto point = live_points_[idx];
+    live_points_[idx] = live_points_.back();
+    live_points_.pop_back();
+    tuple.delta =
+        PointDelta{point.first, std::move(point.second), /*insert=*/false};
+    return tuple;
+  }
+
+  const auto& centroid = centroids_[rng_.NextUint64(centroids_.size())];
+  std::vector<double> coords(options_.dimensions);
+  for (uint32_t d = 0; d < options_.dimensions; ++d) {
+    coords[d] = rng_.NextGaussian(centroid[d], options_.cluster_spread);
+  }
+  const uint64_t id = next_id_++;
+  live_points_.emplace_back(id, coords);
+  tuple.delta = PointDelta{id, std::move(coords), /*insert=*/true};
+  return tuple;
+}
+
+}  // namespace tornado

@@ -1,0 +1,58 @@
+#ifndef TORNADO_STREAM_POINT_STREAM_H_
+#define TORNADO_STREAM_POINT_STREAM_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "stream/stream_source.h"
+
+namespace tornado {
+
+/// Parameters of the synthetic 20D-points stream (KMeans workload).
+struct PointStreamOptions {
+  uint32_t dimensions = 20;
+  uint32_t num_clusters = 10;
+  uint64_t num_tuples = 20000;
+  double cluster_spread = 2.0;   // stddev of points around their centroid
+  double space_extent = 100.0;   // seed centroids drawn from [0, extent)^d
+
+  /// Per-tuple drift applied to the generating centroids so the underlying
+  /// model evolves over time (the "evolving data" setting).
+  double drift = 0.0;
+
+  /// Fraction of tuples that retract a previously inserted point.
+  double deletion_ratio = 0.0;
+
+  uint64_t seed = 7;
+};
+
+/// The paper's 20D-points dataset recipe: "choosing some initial points in
+/// the space and using a normal random generator to pick up points around
+/// them", emitted as a stream, optionally with drift and retractions.
+class PointStream : public StreamSource {
+ public:
+  explicit PointStream(PointStreamOptions options);
+
+  std::optional<StreamTuple> Next() override;
+  size_t TotalTuples() const override { return options_.num_tuples; }
+  size_t Emitted() const override { return emitted_; }
+
+  /// The current ground-truth generating centroids (for test assertions).
+  const std::vector<std::vector<double>>& true_centroids() const {
+    return centroids_;
+  }
+
+ private:
+  PointStreamOptions options_;
+  Rng rng_;
+  size_t emitted_ = 0;
+  uint64_t next_id_ = 0;
+  std::vector<std::vector<double>> centroids_;
+  std::vector<std::pair<uint64_t, std::vector<double>>> live_points_;
+};
+
+}  // namespace tornado
+
+#endif  // TORNADO_STREAM_POINT_STREAM_H_

@@ -1,0 +1,70 @@
+#ifndef TORNADO_STREAM_RESERVOIR_H_
+#define TORNADO_STREAM_RESERVOIR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace tornado {
+
+/// Vitter's Algorithm R reservoir sampler.
+///
+/// Section 3.2 of the paper: random sampling over an evolving stream biases
+/// SGD toward old instances; the main loop must use reservoir sampling so
+/// that "all instances are sampled with identical possibility, regardless
+/// of the time when they come in" — this is the correctness condition for
+/// using the main-loop SGD approximation as a branch-loop initial guess.
+template <typename T>
+class ReservoirSampler {
+ public:
+  ReservoirSampler(size_t capacity, uint64_t seed)
+      : capacity_(capacity), rng_(seed) {}
+
+  /// Offers one stream element; keeps it with probability capacity/seen.
+  void Offer(T item) {
+    ++seen_;
+    if (reservoir_.size() < capacity_) {
+      reservoir_.push_back(std::move(item));
+      return;
+    }
+    const uint64_t slot = rng_.NextUint64(seen_);
+    if (slot < capacity_) {
+      reservoir_[slot] = std::move(item);
+    }
+  }
+
+  /// Number of elements offered so far.
+  uint64_t seen() const { return seen_; }
+  size_t size() const { return reservoir_.size(); }
+  size_t capacity() const { return capacity_; }
+  bool empty() const { return reservoir_.empty(); }
+
+  const std::vector<T>& items() const { return reservoir_; }
+
+  /// Uniformly samples one element from the reservoir.
+  const T& Sample(Rng* rng) const {
+    return reservoir_[rng->NextUint64(reservoir_.size())];
+  }
+
+  void Clear() {
+    reservoir_.clear();
+    seen_ = 0;
+  }
+
+  /// Restores a sampler from serialized state (items + elements seen).
+  void Restore(std::vector<T> items, uint64_t seen) {
+    reservoir_ = std::move(items);
+    seen_ = seen;
+  }
+
+ private:
+  size_t capacity_;
+  Rng rng_;
+  uint64_t seen_ = 0;
+  std::vector<T> reservoir_;
+};
+
+}  // namespace tornado
+
+#endif  // TORNADO_STREAM_RESERVOIR_H_

@@ -1,0 +1,31 @@
+#ifndef TORNADO_STREAM_STREAM_SOURCE_H_
+#define TORNADO_STREAM_STREAM_SOURCE_H_
+
+#include <cstddef>
+#include <optional>
+
+#include "stream/tuple.h"
+
+namespace tornado {
+
+/// A replayable, deterministic source of stream tuples. Generators are
+/// seeded, so two sources constructed with identical parameters yield
+/// identical streams — the batch baselines and the Tornado main loop must
+/// consume the *same* evolving input for a fair comparison.
+class StreamSource {
+ public:
+  virtual ~StreamSource() = default;
+
+  /// Returns the next tuple, or nullopt when the stream is exhausted.
+  virtual std::optional<StreamTuple> Next() = 0;
+
+  /// Total number of tuples this source will emit (generators are finite).
+  virtual size_t TotalTuples() const = 0;
+
+  /// Number of tuples emitted so far.
+  virtual size_t Emitted() const = 0;
+};
+
+}  // namespace tornado
+
+#endif  // TORNADO_STREAM_STREAM_SOURCE_H_

@@ -1,0 +1,51 @@
+#ifndef TORNADO_STREAM_TUPLE_H_
+#define TORNADO_STREAM_TUPLE_H_
+
+#include <cstdint>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/types.h"
+
+namespace tornado {
+
+/// Insertion or deletion of a weighted edge (retractable edge stream, the
+/// input of the SSSP / PageRank experiments; Section 3.1's search-engine
+/// example).
+struct EdgeDelta {
+  VertexId src = 0;
+  VertexId dst = 0;
+  double weight = 1.0;
+  bool insert = true;
+};
+
+/// Insertion or deletion of a d-dimensional point (KMeans workload).
+struct PointDelta {
+  uint64_t id = 0;
+  std::vector<double> coords;
+  bool insert = true;
+};
+
+/// Insertion or deletion of a labelled training instance (SVM / logistic
+/// regression workloads). Features are sparse (index, value) pairs; dense
+/// instances simply enumerate all indices.
+struct InstanceDelta {
+  uint64_t id = 0;
+  std::vector<std::pair<uint32_t, double>> features;
+  double label = 0.0;  // +1 / -1 for the classifiers
+  bool insert = true;
+};
+
+using Delta = std::variant<EdgeDelta, PointDelta, InstanceDelta>;
+
+/// One update tuple δ_t of the turnstile stream model (Section 3.1):
+/// S[t] = Σ_{t' <= t} δ_{t'}.
+struct StreamTuple {
+  uint64_t sequence = 0;  // position in the stream
+  Delta delta;
+};
+
+}  // namespace tornado
+
+#endif  // TORNADO_STREAM_TUPLE_H_

@@ -1,0 +1,37 @@
+#ifndef TORNADO_STREAM_VECTOR_STREAM_H_
+#define TORNADO_STREAM_VECTOR_STREAM_H_
+
+#include <utility>
+#include <vector>
+
+#include "stream/stream_source.h"
+
+namespace tornado {
+
+/// A stream source replaying a fixed list of deltas — scripted scenarios
+/// for tests and examples.
+class VectorStream : public StreamSource {
+ public:
+  explicit VectorStream(std::vector<Delta> deltas)
+      : deltas_(std::move(deltas)) {}
+
+  std::optional<StreamTuple> Next() override {
+    if (position_ >= deltas_.size()) return std::nullopt;
+    StreamTuple tuple;
+    tuple.sequence = position_;
+    tuple.delta = deltas_[position_];
+    ++position_;
+    return tuple;
+  }
+
+  size_t TotalTuples() const override { return deltas_.size(); }
+  size_t Emitted() const override { return position_; }
+
+ private:
+  std::vector<Delta> deltas_;
+  size_t position_ = 0;
+};
+
+}  // namespace tornado
+
+#endif  // TORNADO_STREAM_VECTOR_STREAM_H_

@@ -1,0 +1,120 @@
+// Guard-rail tests: the engine must reject programs that misuse the
+// vertex context (emissions outside Scatter, graph mutations outside
+// input gathering, self-dependencies), failing fast instead of corrupting
+// protocol state.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/cluster.h"
+#include "core/vertex_program.h"
+#include "stream/vector_stream.h"
+#include "tests/test_util.h"
+
+namespace tornado {
+namespace {
+
+struct NullState : VertexState {
+  void Serialize(BufferWriter* writer) const override { writer->PutU8(0); }
+};
+
+/// A configurable misbehaving program.
+class EvilProgram : public VertexProgram {
+ public:
+  enum class Evil {
+    kNone,
+    kEmitInGather,
+    kAddTargetInUpdate,
+    kSelfTarget,
+    kEmitNoopKind,
+  };
+
+  explicit EvilProgram(Evil evil) : evil_(evil) {}
+
+  std::unique_ptr<VertexState> CreateState(VertexId) const override {
+    return std::make_unique<NullState>();
+  }
+  std::unique_ptr<VertexState> DeserializeState(
+      BufferReader* reader) const override {
+    uint8_t b;
+    (void)reader->GetU8(&b);
+    return std::make_unique<NullState>();
+  }
+
+  bool OnInput(VertexContext& ctx, const Delta& delta) const override {
+    const auto& edge = std::get<EdgeDelta>(delta);
+    if (evil_ == Evil::kSelfTarget) {
+      ctx.AddTarget(ctx.id());  // must die: self-dependency
+    } else {
+      ctx.AddTarget(edge.dst);
+    }
+    if (evil_ == Evil::kEmitInGather) {
+      ctx.EmitToTargets(VertexUpdate{});  // must die: not in Scatter
+    }
+    return true;
+  }
+
+  bool OnUpdate(VertexContext& ctx, VertexId, Iteration,
+                const VertexUpdate&) const override {
+    if (evil_ == Evil::kAddTargetInUpdate) {
+      ctx.AddTarget(12345);  // must die: graph mutation outside input
+    }
+    return true;
+  }
+
+  void Scatter(VertexContext& ctx) const override {
+    VertexUpdate update;
+    if (evil_ == Evil::kEmitNoopKind) {
+      update.kind = kNoopUpdateKind;  // must die: reserved kind
+    }
+    ctx.EmitToTargets(update);
+  }
+
+ private:
+  Evil evil_;
+};
+
+void RunScenario(EvilProgram::Evil evil) {
+  JobConfig config;
+  config.program = std::make_shared<EvilProgram>(evil);
+  config.delay_bound = 8;
+  config.num_processors = 2;
+  config.num_hosts = 1;
+  std::vector<Delta> deltas = {EdgeDelta{1, 2, 1.0, true},
+                               EdgeDelta{2, 3, 1.0, true}};
+  TornadoCluster cluster(config, std::make_unique<VectorStream>(deltas));
+  cluster.Start();
+  cluster.RunUntilEmitted(2, 60.0);
+  cluster.RunFor(1.0);
+}
+
+using ContextApiDeathTest = ::testing::Test;
+
+TEST(ContextApiDeathTest, EmissionOutsideScatterDies) {
+  EXPECT_DEATH(RunScenario(EvilProgram::Evil::kEmitInGather),
+               "emissions are only legal in Scatter");
+}
+
+TEST(ContextApiDeathTest, GraphMutationOutsideInputDies) {
+  EXPECT_DEATH(RunScenario(EvilProgram::Evil::kAddTargetInUpdate),
+               "only legal while gathering an input");
+}
+
+TEST(ContextApiDeathTest, SelfTargetDies) {
+  EXPECT_DEATH(RunScenario(EvilProgram::Evil::kSelfTarget),
+               "self-dependencies are not supported");
+}
+
+TEST(ContextApiDeathTest, ReservedNoopKindDies) {
+  EXPECT_DEATH(RunScenario(EvilProgram::Evil::kEmitNoopKind),
+               "reserved no-op kind");
+}
+
+TEST(ContextApiTest, WellBehavedProgramRuns) {
+  RunScenario(EvilProgram::Evil::kNone);  // must not die
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace tornado

@@ -1,0 +1,121 @@
+// Determinism: the simulated cluster is a deterministic discrete-event
+// system — two runs with identical configuration and seeds must produce
+// bit-identical traffic counts, termination watermarks, query latencies
+// and results. (README and DESIGN.md promise this; the experiment benches
+// rely on it for reproducibility.)
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "algos/sssp.h"
+#include "core/cluster.h"
+#include "stream/graph_stream.h"
+#include "tests/test_util.h"
+
+namespace tornado {
+namespace {
+
+struct RunResult {
+  int64_t messages = 0;
+  int64_t commits = 0;
+  int64_t prepares = 0;
+  Iteration main_watermark = 0;
+  double query_latency = -1.0;
+  std::vector<double> lengths;
+};
+
+RunResult RunOnce() {
+  GraphStreamOptions options;
+  options.num_vertices = 300;
+  options.num_tuples = 3000;
+  options.deletion_ratio = 0.05;
+  options.source_hub_weight = 12;
+  options.seed = 77;
+
+  JobConfig config;
+  config.program = std::make_shared<SsspProgram>(0);
+  config.delay_bound = 32;
+  config.num_processors = 4;
+  config.num_hosts = 2;
+  config.ingest_rate = 40000.0;
+  config.seed = 5;
+
+  TornadoCluster cluster(config, std::make_unique<GraphStream>(options));
+  cluster.Start();
+  EXPECT_TRUE(cluster.RunUntilEmitted(3000, 600.0));
+  cluster.RunFor(1.5);
+
+  RunResult result;
+  const uint64_t query = cluster.ingester().SubmitQuery();
+  EXPECT_TRUE(cluster.RunUntilQueryDone(query, 600.0));
+  result.query_latency = cluster.QueryLatency(query);
+  result.messages = cluster.network().metrics().Get(metric::kMessagesSent);
+  result.commits =
+      cluster.network().metrics().Get(metric::kUpdatesCommitted);
+  result.prepares = cluster.network().metrics().Get(metric::kPreparesSent);
+  result.main_watermark = cluster.master().LastTerminated(kMainLoop);
+  const LoopId branch = cluster.BranchOf(query);
+  for (VertexId v = 0; v < options.num_vertices; ++v) {
+    auto state = cluster.ReadVertexState(branch, v);
+    result.lengths.push_back(
+        state == nullptr ? -1.0
+                         : static_cast<const SsspState&>(*state).length);
+  }
+  return result;
+}
+
+TEST(DeterminismTest, IdenticalRunsAreBitIdentical) {
+  const RunResult a = RunOnce();
+  const RunResult b = RunOnce();
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.commits, b.commits);
+  EXPECT_EQ(a.prepares, b.prepares);
+  EXPECT_EQ(a.main_watermark, b.main_watermark);
+  EXPECT_DOUBLE_EQ(a.query_latency, b.query_latency);
+  ASSERT_EQ(a.lengths.size(), b.lengths.size());
+  for (size_t i = 0; i < a.lengths.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.lengths[i], b.lengths[i]) << "vertex " << i;
+  }
+}
+
+TEST(DeterminismTest, DifferentEngineSeedsDivergeInTimingNotResults) {
+  // Changing the engine seed perturbs latency jitter (different message
+  // timings) but the converged fixed point must be the same.
+  GraphStreamOptions options;
+  options.num_vertices = 200;
+  options.num_tuples = 1500;
+  options.source_hub_weight = 10;
+  options.seed = 9;
+
+  std::vector<std::vector<double>> lengths(2);
+  for (int run = 0; run < 2; ++run) {
+    JobConfig config;
+    config.program = std::make_shared<SsspProgram>(0);
+    config.delay_bound = 32;
+    config.num_processors = 4;
+    config.num_hosts = 2;
+    config.ingest_rate = 40000.0;
+    config.seed = 1000 + run;  // different engine randomness
+
+    TornadoCluster cluster(config, std::make_unique<GraphStream>(options));
+    cluster.Start();
+    ASSERT_TRUE(cluster.RunUntilEmitted(1500, 600.0));
+    cluster.ingester().Pause();
+    cluster.RunFor(2.0);
+    const uint64_t query = cluster.ingester().SubmitQuery();
+    ASSERT_TRUE(cluster.RunUntilQueryDone(query, 600.0));
+    const LoopId branch = cluster.BranchOf(query);
+    for (VertexId v = 0; v < options.num_vertices; ++v) {
+      auto state = cluster.ReadVertexState(branch, v);
+      lengths[run].push_back(
+          state == nullptr ? -1.0
+                           : static_cast<const SsspState&>(*state).length);
+    }
+  }
+  EXPECT_EQ(lengths[0], lengths[1])
+      << "the fixed point must not depend on engine randomness";
+}
+
+}  // namespace
+}  // namespace tornado

@@ -1,0 +1,129 @@
+// End-to-end KMeans on the Tornado engine: branch-loop centroids must land
+// near the generating mixture's centroids, and re-running Lloyd offline
+// from the branch result must not move them (fixed-point check).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "algos/kmeans.h"
+#include "core/cluster.h"
+#include "stream/point_stream.h"
+#include "tests/test_util.h"
+
+namespace tornado {
+namespace {
+
+double Distance(const std::vector<double>& a, const std::vector<double>& b) {
+  double d = 0.0;
+  for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    d += (a[i] - b[i]) * (a[i] - b[i]);
+  }
+  return std::sqrt(d);
+}
+
+TEST(KMeansEngineTest, BranchCentroidsAreLloydFixedPoint) {
+  PointStreamOptions stream_options;
+  stream_options.dimensions = 5;
+  stream_options.num_clusters = 4;
+  stream_options.num_tuples = 3000;
+  stream_options.cluster_spread = 1.5;
+  stream_options.space_extent = 60.0;
+  stream_options.seed = 21;
+
+  KMeansOptions kmeans;
+  kmeans.num_clusters = 4;
+  kmeans.num_shards = 4;
+  kmeans.dimensions = 5;
+  kmeans.space_extent = 60.0;
+  kmeans.move_tolerance = 1e-4;
+  kmeans.seed = 5;
+
+  JobConfig config;
+  auto program = std::make_shared<KMeansProgram>(kmeans);
+  config.program = program;
+  config.router = KMeansProgram::MakeRouter(kmeans);
+  config.delay_bound = 64;
+  config.num_processors = 4;
+  config.num_hosts = 2;
+  config.ingest_rate = 100000.0;
+
+  TornadoCluster cluster(config, std::make_unique<PointStream>(stream_options));
+  cluster.Start();
+  ASSERT_TRUE(cluster.RunUntilEmitted(stream_options.num_tuples, 600.0));
+  cluster.ingester().Pause();
+  cluster.RunFor(3.0);
+
+  const uint64_t query = cluster.ingester().SubmitQuery();
+  ASSERT_TRUE(cluster.RunUntilQueryDone(query, 600.0));
+  const LoopId branch = cluster.BranchOf(query);
+
+  // Collect branch centroids.
+  std::vector<std::vector<double>> centroids;
+  for (uint32_t k = 0; k < kmeans.num_clusters; ++k) {
+    auto state = cluster.ReadVertexState(branch, KMeansCentroidVertex(k));
+    ASSERT_NE(state, nullptr);
+    centroids.push_back(
+        static_cast<const KMeansCentroidState&>(*state).position);
+  }
+
+  // Replay the stream to collect the surviving points.
+  PointStream replay(stream_options);
+  std::map<uint64_t, std::vector<double>> points;
+  while (auto tuple = replay.Next()) {
+    const auto& p = std::get<PointDelta>(tuple->delta);
+    if (p.insert) {
+      points[p.id] = p.coords;
+    } else {
+      points.erase(p.id);
+    }
+  }
+  ASSERT_FALSE(points.empty());
+
+  // Fixed-point check: one offline Lloyd step from the branch centroids
+  // must barely move any centroid that owns points.
+  std::vector<std::vector<double>> sums(kmeans.num_clusters,
+                                        std::vector<double>(5, 0.0));
+  std::vector<uint64_t> counts(kmeans.num_clusters, 0);
+  for (const auto& [id, coords] : points) {
+    uint32_t best = 0;
+    double best_d = 1e300;
+    for (uint32_t k = 0; k < kmeans.num_clusters; ++k) {
+      const double d = Distance(coords, centroids[k]);
+      if (d < best_d) {
+        best_d = d;
+        best = k;
+      }
+    }
+    for (size_t i = 0; i < coords.size(); ++i) sums[best][i] += coords[i];
+    counts[best]++;
+  }
+  for (uint32_t k = 0; k < kmeans.num_clusters; ++k) {
+    if (counts[k] == 0) continue;
+    std::vector<double> mean(5);
+    for (size_t i = 0; i < mean.size(); ++i) {
+      mean[i] = sums[k][i] / static_cast<double>(counts[k]);
+    }
+    // One Lloyd step moves the centroid by at most a few emission
+    // tolerances once converged.
+    EXPECT_LT(Distance(mean, centroids[k]), 0.05)
+        << "centroid " << k << " is not a Lloyd fixed point";
+  }
+
+  // Sanity: the converged centroids should sit near generating centroids.
+  size_t near = 0;
+  for (const auto& truth : replay.true_centroids()) {
+    for (const auto& c : centroids) {
+      if (Distance(truth, c) < 3.0 * stream_options.cluster_spread) {
+        ++near;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(near, 2u) << "no centroid landed near the generating mixture";
+}
+
+}  // namespace
+}  // namespace tornado

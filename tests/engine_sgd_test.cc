@@ -1,0 +1,166 @@
+// End-to-end SGD (SVM and logistic regression) on the Tornado engine: the
+// main loop's model must track the generating hyperplane, branch loops must
+// reduce the objective below the main loop's, and the bold driver must
+// adapt the descent rate.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "algos/sgd.h"
+#include "core/cluster.h"
+#include "stream/instance_stream.h"
+#include "tests/test_util.h"
+
+namespace tornado {
+namespace {
+
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / std::sqrt(na * nb);
+}
+
+std::vector<SgdInstance> CollectInstances(const InstanceStreamOptions& opts) {
+  InstanceStream replay(opts);
+  std::vector<SgdInstance> out;
+  while (auto tuple = replay.Next()) {
+    const auto& d = std::get<InstanceDelta>(tuple->delta);
+    SgdInstance inst;
+    inst.id = d.id;
+    inst.label = d.label;
+    inst.features = d.features;
+    out.push_back(std::move(inst));
+  }
+  return out;
+}
+
+struct SgdCase {
+  SgdLoss loss;
+  bool sparse;
+  const char* name;
+};
+
+class SgdEngineTest : public ::testing::TestWithParam<SgdCase> {};
+
+TEST_P(SgdEngineTest, MainLoopTracksTruthAndBranchImprovesObjective) {
+  const SgdCase& param = GetParam();
+
+  InstanceStreamOptions stream_options;
+  stream_options.dimensions = param.sparse ? 60 : 12;
+  stream_options.num_tuples = 8000;
+  stream_options.sparse = param.sparse;
+  stream_options.sparsity_nnz = 12;
+  stream_options.label_noise = 0.02;
+  stream_options.seed = 31;
+
+  SgdOptions sgd;
+  sgd.loss = param.loss;
+  sgd.num_shards = 4;
+  sgd.dimensions = stream_options.dimensions;
+  sgd.sample_ratio = 0.05;
+  sgd.reservoir_capacity = 500;
+  sgd.descent_rate = param.loss == SgdLoss::kSvmHinge ? 0.05 : 0.2;
+  sgd.emit_tolerance = 1e-4;
+
+  JobConfig config;
+  config.program = std::make_shared<SgdProgram>(sgd);
+  config.router = SgdProgram::MakeRouter(sgd);
+  config.delay_bound = 64;
+  config.num_processors = 4;
+  config.num_hosts = 2;
+  config.convergence.quiescence = true;
+  config.convergence.epsilon = 1e-5;
+  config.convergence.window = 4;
+  config.convergence.max_iterations = 4000;
+  config.ingest_rate = 50000.0;
+
+  TornadoCluster cluster(config,
+                         std::make_unique<InstanceStream>(stream_options));
+  cluster.Start();
+  ASSERT_TRUE(cluster.RunUntilEmitted(stream_options.num_tuples, 600.0));
+  cluster.RunFor(5.0);  // let the main loop keep adapting
+  cluster.ingester().Pause();
+
+  InstanceStream truth(stream_options);
+  const auto instances = CollectInstances(stream_options);
+
+  // Main-loop model should point in the direction of the ground truth.
+  auto main_state = cluster.ReadVertexState(kMainLoop, kSgdParamVertex);
+  ASSERT_NE(main_state, nullptr);
+  const auto& main_param = static_cast<const SgdParamState&>(*main_state);
+  const double main_cos =
+      CosineSimilarity(main_param.weights, truth.true_weights());
+  EXPECT_GT(main_cos, 0.75) << "main-loop model does not track the truth";
+  const double main_objective = SgdProgram::Objective(
+      sgd.loss, sgd.regularization, main_param.weights, instances);
+
+  // A branch loop polishes the model to (near) the empirical optimum.
+  const uint64_t query = cluster.ingester().SubmitQuery();
+  ASSERT_TRUE(cluster.RunUntilQueryDone(query, 2000.0));
+  auto branch_state =
+      cluster.ReadVertexState(cluster.BranchOf(query), kSgdParamVertex);
+  ASSERT_NE(branch_state, nullptr);
+  const auto& branch_param = static_cast<const SgdParamState&>(*branch_state);
+  const double branch_objective = SgdProgram::Objective(
+      sgd.loss, sgd.regularization, branch_param.weights, instances);
+
+  EXPECT_LE(branch_objective, main_objective * 1.05)
+      << "branch loop made the objective worse";
+  const double branch_cos =
+      CosineSimilarity(branch_param.weights, truth.true_weights());
+  EXPECT_GT(branch_cos, main_cos - 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Losses, SgdEngineTest,
+    ::testing::Values(SgdCase{SgdLoss::kSvmHinge, false, "svm"},
+                      SgdCase{SgdLoss::kLogistic, true, "lr"}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(SgdBoldDriverTest, RateAdaptsOverTime) {
+  InstanceStreamOptions stream_options;
+  stream_options.dimensions = 12;
+  stream_options.num_tuples = 6000;
+  stream_options.concept_drift = 0.002;
+  stream_options.seed = 77;
+
+  SgdOptions sgd;
+  sgd.loss = SgdLoss::kSvmHinge;
+  sgd.num_shards = 4;
+  sgd.dimensions = 12;
+  sgd.schedule = DescentSchedule::kBoldDriver;
+  sgd.descent_rate = 0.5;
+
+  JobConfig config;
+  config.program = std::make_shared<SgdProgram>(sgd);
+  config.router = SgdProgram::MakeRouter(sgd);
+  config.delay_bound = 64;
+  config.num_processors = 2;
+  config.num_hosts = 1;
+  config.ingest_rate = 50000.0;
+
+  TornadoCluster cluster(config,
+                         std::make_unique<InstanceStream>(stream_options));
+  cluster.Start();
+  ASSERT_TRUE(cluster.RunUntilEmitted(stream_options.num_tuples, 600.0));
+  cluster.RunFor(3.0);
+
+  auto state = cluster.ReadVertexState(kMainLoop, kSgdParamVertex);
+  ASSERT_NE(state, nullptr);
+  const auto& param = static_cast<const SgdParamState&>(*state);
+  EXPECT_NE(param.rate, 0.5) << "bold driver never adjusted the rate";
+  EXPECT_GE(param.rate, sgd.min_rate);
+  EXPECT_LE(param.rate, sgd.max_rate);
+  EXPECT_GT(param.steps, 100u);
+}
+
+}  // namespace
+}  // namespace tornado

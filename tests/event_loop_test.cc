@@ -1,0 +1,123 @@
+// Unit tests for the discrete-event loop: ordering, cancellation, budget.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_loop.h"
+#include "tests/test_util.h"
+
+namespace tornado {
+namespace {
+
+TEST(EventLoopTest, FiresInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.Schedule(0.3, [&]() { order.push_back(3); });
+  loop.Schedule(0.1, [&]() { order.push_back(1); });
+  loop.Schedule(0.2, [&]() { order.push_back(2); });
+  loop.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(loop.now(), 0.3);
+}
+
+TEST(EventLoopTest, SameTimeFiresInScheduleOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    loop.Schedule(1.0, [&, i]() { order.push_back(i); });
+  }
+  loop.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventLoopTest, EventsCanScheduleEvents) {
+  EventLoop loop;
+  int fired = 0;
+  std::function<void()> chain = [&]() {
+    ++fired;
+    if (fired < 5) loop.Schedule(0.1, chain);
+  };
+  loop.Schedule(0.1, chain);
+  loop.Run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_NEAR(loop.now(), 0.5, 1e-12);
+}
+
+TEST(EventLoopTest, CancelPreventsFiring) {
+  EventLoop loop;
+  bool fired = false;
+  const EventId id = loop.Schedule(0.1, [&]() { fired = true; });
+  loop.Cancel(id);
+  loop.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventLoopTest, CancelUnknownIsNoop) {
+  EventLoop loop;
+  loop.Cancel(9999);
+  EXPECT_EQ(loop.Run(), 0u);
+}
+
+TEST(EventLoopTest, RunUntilStopsAtDeadline) {
+  EventLoop loop;
+  std::vector<double> times;
+  for (int i = 1; i <= 10; ++i) {
+    loop.Schedule(i * 0.1, [&, i]() { times.push_back(i * 0.1); });
+  }
+  loop.RunUntil(0.55);
+  EXPECT_EQ(times.size(), 5u);
+  EXPECT_DOUBLE_EQ(loop.now(), 0.55);
+  loop.Run();
+  EXPECT_EQ(times.size(), 10u);
+}
+
+TEST(EventLoopTest, RunUntilAdvancesClockWhenIdle) {
+  EventLoop loop;
+  loop.RunUntil(2.0);
+  EXPECT_DOUBLE_EQ(loop.now(), 2.0);
+}
+
+TEST(EventLoopTest, NegativeDelayClampsToNow) {
+  EventLoop loop;
+  loop.Schedule(1.0, [&]() {
+    bool fired = false;
+    loop.Schedule(-5.0, [&]() { fired = true; });
+    (void)fired;
+  });
+  loop.Run();
+  EXPECT_DOUBLE_EQ(loop.now(), 1.0);  // the nested event fired at t=1.0
+}
+
+TEST(EventLoopTest, EventBudgetStopsRunawayLoops) {
+  EventLoop loop;
+  loop.set_event_budget(100);
+  std::function<void()> forever = [&]() { loop.Schedule(0.01, forever); };
+  loop.Schedule(0.01, forever);
+  loop.Run();
+  EXPECT_TRUE(loop.budget_exhausted());
+}
+
+TEST(EventLoopTest, StepFiresExactlyOne) {
+  EventLoop loop;
+  int fired = 0;
+  loop.Schedule(0.1, [&]() { ++fired; });
+  loop.Schedule(0.2, [&]() { ++fired; });
+  EXPECT_TRUE(loop.Step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(loop.Step());
+  EXPECT_FALSE(loop.Step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventLoopTest, PendingCountsUncancelledEvents) {
+  EventLoop loop;
+  const EventId a = loop.Schedule(0.1, []() {});
+  loop.Schedule(0.2, []() {});
+  EXPECT_EQ(loop.pending(), 2u);
+  loop.Cancel(a);
+  EXPECT_EQ(loop.pending(), 1u);
+}
+
+}  // namespace
+}  // namespace tornado

@@ -1,0 +1,245 @@
+// Protocol-level integration tests: branch merging (Section 5.2),
+// concurrent branch loops, delay-bound blocking, master-journal recovery,
+// convergence caps, retraction chains, and snapshot isolation.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "algos/sssp.h"
+#include "core/cluster.h"
+#include "stream/graph_stream.h"
+#include "stream/vector_stream.h"
+#include "tests/test_util.h"
+
+namespace tornado {
+namespace {
+
+constexpr VertexId kSource = 0;
+
+JobConfig BaseConfig(uint64_t bound = 16) {
+  JobConfig config;
+  config.program = std::make_shared<SsspProgram>(kSource);
+  config.delay_bound = bound;
+  config.num_processors = 4;
+  config.num_hosts = 2;
+  config.ingest_rate = 50000.0;
+  config.seed = 2;
+  return config;
+}
+
+double LengthOf(const TornadoCluster& cluster, LoopId loop, VertexId v) {
+  auto state = cluster.ReadVertexState(loop, v);
+  return state == nullptr ? kSsspInfinity
+                          : static_cast<const SsspState&>(*state).length;
+}
+
+TEST(MergeBackTest, BranchResultsMergeIntoMainLoop) {
+  // batch_mode: the main loop never propagates, so main-loop state can
+  // only become correct through the merge of branch results.
+  JobConfig config = BaseConfig();
+  config.program = std::make_shared<SsspProgram>(kSource, /*batch=*/true);
+  config.merge_branches = true;
+
+  std::vector<Delta> deltas = {
+      EdgeDelta{0, 1, 2.0, true},
+      EdgeDelta{1, 2, 3.0, true},
+      EdgeDelta{2, 3, 4.0, true},
+  };
+  TornadoCluster cluster(config, std::make_unique<VectorStream>(deltas));
+  cluster.Start();
+  ASSERT_TRUE(cluster.RunUntilEmitted(3, 60.0));
+  cluster.RunFor(1.0);
+
+  const uint64_t query = cluster.ingester().SubmitQuery();
+  ASSERT_TRUE(cluster.RunUntilQueryDone(query, 300.0));
+  EXPECT_NEAR(LengthOf(cluster, cluster.BranchOf(query), 3), 9.0, 1e-9);
+  ASSERT_TRUE(cluster.master().queries().front().done);
+  EXPECT_TRUE(cluster.master().queries().front().merged);
+
+  // After the merge settles, the MAIN loop's stored state holds the
+  // branch's fixed point.
+  cluster.RunFor(1.0);
+  EXPECT_NEAR(LengthOf(cluster, kMainLoop, 3), 9.0, 1e-9);
+}
+
+TEST(ConcurrentBranchesTest, OverlappingQueriesAreIndependent) {
+  GraphStreamOptions options;
+  options.num_vertices = 300;
+  options.num_tuples = 3000;
+  options.deletion_ratio = 0.05;
+  options.source_hub_weight = 10;
+  options.seed = 12;
+
+  TornadoCluster cluster(BaseConfig(64),
+                         std::make_unique<GraphStream>(options));
+  cluster.Start();
+  ASSERT_TRUE(cluster.RunUntilEmitted(1500, 600.0));
+
+  // Fire two queries back-to-back without waiting: two branch loops run
+  // concurrently ("the computation of different branch loops are
+  // independent of each other").
+  const uint64_t q1 = cluster.ingester().SubmitQuery();
+  cluster.RunFor(0.01);
+  const uint64_t q2 = cluster.ingester().SubmitQuery();
+  ASSERT_TRUE(cluster.RunUntilQueryDone(q1, 600.0));
+  ASSERT_TRUE(cluster.RunUntilQueryDone(q2, 600.0));
+  EXPECT_NE(cluster.BranchOf(q1), cluster.BranchOf(q2));
+  EXPECT_GT(cluster.QueryLatency(q1), 0.0);
+  EXPECT_GT(cluster.QueryLatency(q2), 0.0);
+}
+
+TEST(DelayBoundTest, SmallBoundsBlockUpdates) {
+  GraphStreamOptions options;
+  options.num_vertices = 400;
+  options.num_tuples = 4000;
+  options.source_hub_weight = 10;
+  options.seed = 4;
+
+  TornadoCluster cluster(BaseConfig(/*bound=*/2),
+                         std::make_unique<GraphStream>(options));
+  cluster.Start();
+  ASSERT_TRUE(cluster.RunUntilEmitted(4000, 600.0));
+  EXPECT_GT(cluster.network().metrics().Get(metric::kUpdatesBlocked), 0)
+      << "a tight delay bound must actually block update propagation";
+}
+
+TEST(MasterJournalTest, MainLoopSurvivesMasterCrashAndKeepsTerminating) {
+  GraphStreamOptions options;
+  options.num_vertices = 300;
+  options.num_tuples = 6000;
+  options.source_hub_weight = 10;
+  options.seed = 6;
+
+  TornadoCluster cluster(BaseConfig(64),
+                         std::make_unique<GraphStream>(options));
+  cluster.Start();
+  ASSERT_TRUE(cluster.RunUntilEmitted(2000, 600.0));
+  const Iteration before = cluster.master().LastTerminated(kMainLoop);
+
+  cluster.network().KillNode(cluster.master_node());
+  cluster.RunFor(0.3);
+  cluster.network().RecoverNode(cluster.master_node());
+
+  ASSERT_TRUE(cluster.RunUntilEmitted(6000, 600.0));
+  cluster.RunFor(2.0);
+  const Iteration after = cluster.master().LastTerminated(kMainLoop);
+  ASSERT_NE(after, kNoIteration);
+  // The journal preserved the watermark; termination resumed past it.
+  if (before != kNoIteration) {
+    EXPECT_GE(after, before) << "terminated watermark went backwards";
+  }
+  EXPECT_GT(after, 0u);
+
+  // And queries still work end to end after the recovery.
+  cluster.ingester().Pause();
+  cluster.RunFor(1.0);
+  const uint64_t query = cluster.ingester().SubmitQuery();
+  EXPECT_TRUE(cluster.RunUntilQueryDone(query, 600.0));
+}
+
+TEST(ConvergencePolicyTest, MaxIterationsCapsRunawayLoops) {
+  JobConfig config = BaseConfig(64);
+  config.convergence.quiescence = false;  // nothing else would stop it
+  config.convergence.max_iterations = 5;
+
+  GraphStreamOptions options;
+  options.num_vertices = 200;
+  options.num_tuples = 2000;
+  options.source_hub_weight = 10;
+  options.seed = 8;
+  TornadoCluster cluster(config, std::make_unique<GraphStream>(options));
+  cluster.Start();
+  ASSERT_TRUE(cluster.RunUntilEmitted(2000, 600.0));
+  cluster.RunFor(1.0);
+
+  const uint64_t query = cluster.ingester().SubmitQuery();
+  ASSERT_TRUE(cluster.RunUntilQueryDone(query, 600.0));
+  EXPECT_LE(cluster.master().queries().front().converged_iteration, 6u);
+}
+
+TEST(RetractionTest, DeletedEdgeRetractsDownstreamDistances) {
+  // Scripted scenario: 0 -> 1 -> 2 plus a long detour 0 -> 3 -> 2; after
+  // deleting 1 -> 2 the distance of 2 must increase to the detour.
+  std::vector<Delta> deltas = {
+      EdgeDelta{0, 1, 1.0, true},  EdgeDelta{1, 2, 1.0, true},
+      EdgeDelta{0, 3, 5.0, true},  EdgeDelta{3, 2, 5.0, true},
+      EdgeDelta{1, 2, 1.0, false},  // retraction
+  };
+  TornadoCluster cluster(BaseConfig(16),
+                         std::make_unique<VectorStream>(deltas));
+  cluster.Start();
+  ASSERT_TRUE(cluster.RunUntilEmitted(5, 60.0));
+  cluster.RunFor(1.0);
+
+  const uint64_t query = cluster.ingester().SubmitQuery();
+  ASSERT_TRUE(cluster.RunUntilQueryDone(query, 300.0));
+  const LoopId branch = cluster.BranchOf(query);
+  EXPECT_NEAR(LengthOf(cluster, branch, 1), 1.0, 1e-9);
+  EXPECT_NEAR(LengthOf(cluster, branch, 2), 10.0, 1e-9);  // via the detour
+  EXPECT_NEAR(LengthOf(cluster, branch, 3), 5.0, 1e-9);
+}
+
+TEST(SnapshotIsolationTest, EarlierBranchResultsAreImmutable) {
+  GraphStreamOptions options;
+  options.num_vertices = 200;
+  options.num_tuples = 3000;
+  options.source_hub_weight = 10;
+  options.seed = 14;
+
+  TornadoCluster cluster(BaseConfig(64),
+                         std::make_unique<GraphStream>(options));
+  cluster.Start();
+  ASSERT_TRUE(cluster.RunUntilEmitted(1000, 600.0));
+  cluster.ingester().Pause();
+  cluster.RunFor(1.0);
+  const uint64_t q1 = cluster.ingester().SubmitQuery();
+  ASSERT_TRUE(cluster.RunUntilQueryDone(q1, 600.0));
+  const LoopId b1 = cluster.BranchOf(q1);
+
+  // Record a handful of distances from branch 1.
+  std::vector<std::pair<VertexId, double>> recorded;
+  for (VertexId v = 0; v < 50; ++v) {
+    recorded.emplace_back(v, LengthOf(cluster, b1, v));
+  }
+
+  // Stream the rest; branch 1's results must not change.
+  cluster.ingester().Resume();
+  ASSERT_TRUE(cluster.RunUntilEmitted(3000, 600.0));
+  cluster.RunFor(2.0);
+  for (const auto& [v, length] : recorded) {
+    const double now = LengthOf(cluster, b1, v);
+    if (length == kSsspInfinity) {
+      EXPECT_EQ(now, kSsspInfinity) << "vertex " << v;
+    } else {
+      EXPECT_DOUBLE_EQ(now, length) << "vertex " << v;
+    }
+  }
+}
+
+TEST(IngesterTest, PauseResumeDeliversEveryTupleExactlyOnce) {
+  GraphStreamOptions options;
+  options.num_vertices = 100;
+  options.num_tuples = 2000;
+  options.deletion_ratio = 0.0;
+  options.seed = 16;
+
+  TornadoCluster cluster(BaseConfig(64),
+                         std::make_unique<GraphStream>(options));
+  cluster.Start();
+  ASSERT_TRUE(cluster.RunUntilEmitted(500, 600.0));
+  cluster.ingester().Pause();
+  const uint64_t at_pause = cluster.ingester().emitted();
+  cluster.RunFor(0.5);
+  EXPECT_EQ(cluster.ingester().emitted(), at_pause) << "emitted while paused";
+  cluster.ingester().Resume();
+  ASSERT_TRUE(cluster.RunUntilEmitted(2000, 600.0));
+  cluster.RunFor(1.0);
+  EXPECT_EQ(cluster.ingester().emitted(), 2000u);
+  EXPECT_TRUE(cluster.ingester().exhausted());
+  // Every emitted tuple was gathered exactly once.
+  EXPECT_EQ(cluster.network().metrics().Get(metric::kInputsGathered), 2000);
+}
+
+}  // namespace
+}  // namespace tornado

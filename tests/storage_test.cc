@@ -1,0 +1,203 @@
+// Unit tests for the versioned store and the on-disk checkpoint log.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "storage/checkpoint_log.h"
+#include "storage/versioned_store.h"
+#include "tests/test_util.h"
+
+namespace tornado {
+namespace {
+
+std::vector<uint8_t> Bytes(std::initializer_list<uint8_t> v) { return v; }
+
+TEST(VersionedStoreTest, SnapshotReadsLatestAtOrBelow) {
+  VersionedStore store;
+  store.Put(0, 7, 1, Bytes({1}));
+  store.Put(0, 7, 5, Bytes({5}));
+  store.Put(0, 7, 9, Bytes({9}));
+
+  EXPECT_EQ(store.Get(0, 7, 0), nullptr);
+  EXPECT_EQ((*store.Get(0, 7, 1))[0], 1);
+  EXPECT_EQ((*store.Get(0, 7, 4))[0], 1);
+  EXPECT_EQ((*store.Get(0, 7, 5))[0], 5);
+  EXPECT_EQ((*store.Get(0, 7, 100))[0], 9);
+  EXPECT_EQ((*store.GetLatest(0, 7))[0], 9);
+  EXPECT_EQ(store.GetVersionIteration(0, 7, 7), 5u);
+  EXPECT_EQ(store.GetVersionIteration(0, 7, 0), kNoIteration);
+}
+
+TEST(VersionedStoreTest, OverwriteSameIteration) {
+  VersionedStore store;
+  store.Put(0, 1, 3, Bytes({1}));
+  store.Put(0, 1, 3, Bytes({2}));
+  EXPECT_EQ(store.VersionCount(0, 1), 1u);
+  EXPECT_EQ((*store.Get(0, 1, 3))[0], 2);
+}
+
+TEST(VersionedStoreTest, FlushTracksDurabilityAndDirtyCount) {
+  VersionedStore store;
+  store.Put(0, 1, 1, Bytes({1}));
+  store.Put(0, 2, 2, Bytes({2}));
+  store.Put(0, 3, 7, Bytes({7}));
+  EXPECT_EQ(store.DirtyVersions(0), 3u);
+  EXPECT_EQ(store.Flush(0, 2), 2u);
+  EXPECT_EQ(store.DirtyVersions(0), 1u);
+  EXPECT_EQ(store.DurableIteration(0), 2u);
+  // Flushing below the watermark is a no-op.
+  EXPECT_EQ(store.Flush(0, 1), 0u);
+  EXPECT_EQ(store.Flush(0, 10), 1u);
+  EXPECT_EQ(store.DirtyVersions(0), 0u);
+}
+
+TEST(VersionedStoreTest, TruncateAfterDropsNewerVersions) {
+  VersionedStore store;
+  for (Iteration i = 1; i <= 5; ++i) {
+    store.Put(0, 1, i, Bytes({static_cast<uint8_t>(i)}));
+  }
+  store.TruncateAfter(0, 3);
+  EXPECT_EQ(store.VersionCount(0, 1), 3u);
+  EXPECT_EQ((*store.GetLatest(0, 1))[0], 3);
+}
+
+TEST(VersionedStoreTest, RecoverToDurableDropsUnflushed) {
+  VersionedStore store;
+  store.Put(0, 1, 1, Bytes({1}));
+  store.Flush(0, 1);
+  store.Put(0, 1, 2, Bytes({2}));
+  store.RecoverToDurable(0);
+  EXPECT_EQ((*store.GetLatest(0, 1))[0], 1);
+
+  // A never-flushed loop disappears entirely.
+  store.Put(9, 1, 1, Bytes({1}));
+  store.RecoverToDurable(9);
+  EXPECT_EQ(store.GetLatest(9, 1), nullptr);
+}
+
+TEST(VersionedStoreTest, PruneBelowKeepsSnapshotBase) {
+  VersionedStore store;
+  for (Iteration i = 1; i <= 6; ++i) {
+    store.Put(0, 1, i, Bytes({static_cast<uint8_t>(i)}));
+  }
+  EXPECT_EQ(store.PruneBelow(0, 4), 3u);  // versions 1,2,3 dropped; 4 kept
+  EXPECT_EQ((*store.Get(0, 1, 4))[0], 4);
+  EXPECT_EQ(store.Get(0, 1, 3), nullptr);
+  EXPECT_EQ((*store.GetLatest(0, 1))[0], 6);
+}
+
+TEST(VersionedStoreTest, ForkCopiesSnapshotIntoBranch) {
+  VersionedStore store;
+  store.Put(0, 1, 2, Bytes({2}));
+  store.Put(0, 1, 8, Bytes({8}));
+  store.Put(0, 2, 3, Bytes({3}));
+  EXPECT_EQ(store.ForkLoop(0, 5, 1), 2u);
+  EXPECT_EQ((*store.Get(1, 1, 0))[0], 2);  // not the iteration-8 version
+  EXPECT_EQ((*store.Get(1, 2, 0))[0], 3);
+}
+
+TEST(VersionedStoreTest, MergeWritesLatestAtIteration) {
+  VersionedStore store;
+  store.Put(1, 1, 4, Bytes({44}));
+  store.Put(0, 1, 2, Bytes({2}));
+  EXPECT_EQ(store.MergeLoop(1, 0, 10), 1u);
+  EXPECT_EQ((*store.Get(0, 1, 10))[0], 44);
+  EXPECT_EQ((*store.Get(0, 1, 9))[0], 2);
+}
+
+TEST(VersionedStoreTest, VerticesWithVersionAt) {
+  VersionedStore store;
+  store.Put(0, 1, 5, Bytes({1}));
+  store.Put(0, 2, 6, Bytes({2}));
+  const auto at5 = store.VerticesWithVersionAt(0, 5);
+  ASSERT_EQ(at5.size(), 1u);
+  EXPECT_EQ(at5[0], 1u);
+}
+
+TEST(VersionedStoreTest, DropLoopRemovesEverything) {
+  VersionedStore store;
+  store.Put(3, 1, 1, Bytes({1}));
+  store.DropLoop(3);
+  EXPECT_TRUE(store.VerticesOf(3).empty());
+}
+
+TEST(VersionedStoreTest, AccountingTotals) {
+  VersionedStore store;
+  store.Put(0, 1, 1, Bytes({1, 2, 3}));
+  store.Put(0, 2, 1, Bytes({4}));
+  EXPECT_EQ(store.TotalVersions(), 2u);
+  EXPECT_EQ(store.TotalBytes(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// CheckpointLog
+// ---------------------------------------------------------------------------
+
+class CheckpointLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/tornado_ckpt_" +
+            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".log";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+};
+
+TEST_F(CheckpointLogTest, AppendAndReplay) {
+  {
+    CheckpointLog log;
+    ASSERT_TRUE(log.Open(path_).ok());
+    ASSERT_TRUE(log.Append(0, 1, 2, Bytes({9, 9})).ok());
+    ASSERT_TRUE(log.Append(0, 1, 5, Bytes({5})).ok());
+    ASSERT_TRUE(log.Append(1, 7, 1, Bytes({7})).ok());
+    ASSERT_TRUE(log.Close().ok());
+  }
+  VersionedStore store;
+  CheckpointLog reader;
+  auto applied = reader.Replay(path_, &store);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(*applied, 3u);
+  EXPECT_EQ((*store.Get(0, 1, 2))[0], 9);
+  EXPECT_EQ((*store.GetLatest(0, 1))[0], 5);
+  EXPECT_EQ((*store.GetLatest(1, 7))[0], 7);
+}
+
+TEST_F(CheckpointLogTest, TornTailIsIgnored) {
+  {
+    CheckpointLog log;
+    ASSERT_TRUE(log.Open(path_).ok());
+    ASSERT_TRUE(log.Append(0, 1, 1, Bytes({1})).ok());
+    ASSERT_TRUE(log.Append(0, 2, 1, Bytes({2})).ok());
+    ASSERT_TRUE(log.Close().ok());
+  }
+  // Corrupt the tail: truncate the last 3 bytes (mid-CRC).
+  std::FILE* f = std::fopen(path_.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  ASSERT_EQ(std::fclose(f), 0);
+  ASSERT_EQ(truncate(path_.c_str(), size - 3), 0);
+
+  VersionedStore store;
+  CheckpointLog reader;
+  auto applied = reader.Replay(path_, &store);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(*applied, 1u);  // only the intact first record
+  EXPECT_NE(store.GetLatest(0, 1), nullptr);
+  EXPECT_EQ(store.GetLatest(0, 2), nullptr);
+}
+
+TEST_F(CheckpointLogTest, ReplayMissingFileIsNotFound) {
+  VersionedStore store;
+  CheckpointLog reader;
+  auto applied = reader.Replay(path_ + ".nope", &store);
+  EXPECT_FALSE(applied.ok());
+  EXPECT_EQ(applied.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace tornado

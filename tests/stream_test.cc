@@ -1,0 +1,257 @@
+// Unit tests for the stream generators (the dataset substitutes) and
+// reservoir sampling.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "stream/graph_stream.h"
+#include "stream/instance_stream.h"
+#include "stream/point_stream.h"
+#include "stream/reservoir.h"
+#include "stream/vector_stream.h"
+#include "tests/test_util.h"
+
+namespace tornado {
+namespace {
+
+TEST(GraphStreamTest, DeterministicReplay) {
+  GraphStreamOptions options;
+  options.num_tuples = 500;
+  options.deletion_ratio = 0.1;
+  GraphStream a(options), b(options);
+  for (int i = 0; i < 500; ++i) {
+    auto ta = a.Next();
+    auto tb = b.Next();
+    ASSERT_TRUE(ta.has_value());
+    const auto& ea = std::get<EdgeDelta>(ta->delta);
+    const auto& eb = std::get<EdgeDelta>(tb->delta);
+    EXPECT_EQ(ea.src, eb.src);
+    EXPECT_EQ(ea.dst, eb.dst);
+    EXPECT_EQ(ea.weight, eb.weight);
+    EXPECT_EQ(ea.insert, eb.insert);
+  }
+  EXPECT_FALSE(a.Next().has_value());
+  EXPECT_EQ(a.Emitted(), 500u);
+}
+
+TEST(GraphStreamTest, DeletionsOnlyRetractLiveEdges) {
+  GraphStreamOptions options;
+  options.num_tuples = 5000;
+  options.deletion_ratio = 0.3;
+  options.num_vertices = 100;
+  GraphStream stream(options);
+  std::map<std::pair<VertexId, VertexId>, int> live;
+  size_t deletions = 0;
+  while (auto tuple = stream.Next()) {
+    const auto& e = std::get<EdgeDelta>(tuple->delta);
+    if (e.insert) {
+      ++(live[{e.src, e.dst}]);
+    } else {
+      ++deletions;
+      ASSERT_GT((live[{e.src, e.dst}]), 0)
+          << "retracted an edge that was never inserted";
+      --(live[{e.src, e.dst}]);
+    }
+  }
+  EXPECT_GT(deletions, 1000u);
+  EXPECT_LT(deletions, 2000u);
+}
+
+TEST(GraphStreamTest, PreferentialAttachmentIsSkewed) {
+  GraphStreamOptions options;
+  options.num_tuples = 20000;
+  options.num_vertices = 5000;
+  options.preferential = 0.7;
+  options.deletion_ratio = 0.0;
+  GraphStream stream(options);
+  std::unordered_map<VertexId, int> degree;
+  while (auto tuple = stream.Next()) {
+    const auto& e = std::get<EdgeDelta>(tuple->delta);
+    degree[e.src]++;
+    degree[e.dst]++;
+  }
+  int max_degree = 0;
+  for (const auto& [v, d] : degree) max_degree = std::max(max_degree, d);
+  const double avg =
+      2.0 * options.num_tuples / static_cast<double>(degree.size());
+  EXPECT_GT(max_degree, 10 * avg) << "degree distribution is not heavy-tailed";
+}
+
+TEST(GraphStreamTest, WeightsWithinRange) {
+  GraphStreamOptions options;
+  options.num_tuples = 1000;
+  options.min_weight = 2.0;
+  options.max_weight = 3.0;
+  GraphStream stream(options);
+  while (auto tuple = stream.Next()) {
+    const auto& e = std::get<EdgeDelta>(tuple->delta);
+    EXPECT_GE(e.weight, 2.0);
+    EXPECT_LT(e.weight, 3.0);
+  }
+}
+
+TEST(PointStreamTest, PointsClusterAroundCentroids) {
+  PointStreamOptions options;
+  options.num_tuples = 5000;
+  options.num_clusters = 3;
+  options.dimensions = 4;
+  options.cluster_spread = 1.0;
+  options.space_extent = 200.0;
+  PointStream stream(options);
+  const auto centroids = stream.true_centroids();
+  size_t near = 0, total = 0;
+  while (auto tuple = stream.Next()) {
+    const auto& p = std::get<PointDelta>(tuple->delta);
+    if (!p.insert) continue;
+    ++total;
+    for (const auto& c : centroids) {
+      double d2 = 0.0;
+      for (size_t i = 0; i < c.size(); ++i) {
+        d2 += (p.coords[i] - c[i]) * (p.coords[i] - c[i]);
+      }
+      // Within 5 sigma of some generating centroid.
+      if (d2 < 25.0 * options.dimensions) {
+        ++near;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(near, total * 95 / 100);
+}
+
+TEST(PointStreamTest, DriftMovesCentroids) {
+  PointStreamOptions options;
+  options.num_tuples = 2000;
+  options.drift = 0.05;
+  PointStream stream(options);
+  const auto before = stream.true_centroids();
+  while (stream.Next()) {
+  }
+  const auto after = stream.true_centroids();
+  double moved = 0.0;
+  for (size_t k = 0; k < before.size(); ++k) {
+    for (size_t d = 0; d < before[k].size(); ++d) {
+      moved += std::fabs(after[k][d] - before[k][d]);
+    }
+  }
+  EXPECT_GT(moved, 1.0);
+}
+
+TEST(InstanceStreamTest, LabelsMatchTrueHyperplaneMostly) {
+  InstanceStreamOptions options;
+  options.num_tuples = 5000;
+  options.dimensions = 10;
+  options.label_noise = 0.0;
+  InstanceStream stream(options);
+  const auto& w = stream.true_weights();
+  size_t consistent = 0;
+  while (auto tuple = stream.Next()) {
+    const auto& inst = std::get<InstanceDelta>(tuple->delta);
+    double dot = 0.0;
+    for (const auto& [idx, value] : inst.features) dot += w[idx] * value;
+    if ((dot >= 0.0 ? 1.0 : -1.0) == inst.label) ++consistent;
+  }
+  EXPECT_EQ(consistent, 5000u);
+}
+
+TEST(InstanceStreamTest, SparseModeRespectsNnzAndSortsIndices) {
+  InstanceStreamOptions options;
+  options.num_tuples = 200;
+  options.sparse = true;
+  options.dimensions = 500;
+  options.sparsity_nnz = 25;
+  InstanceStream stream(options);
+  while (auto tuple = stream.Next()) {
+    const auto& inst = std::get<InstanceDelta>(tuple->delta);
+    EXPECT_LE(inst.features.size(), 25u);
+    for (size_t i = 1; i < inst.features.size(); ++i) {
+      EXPECT_LE(inst.features[i - 1].first, inst.features[i].first);
+    }
+  }
+}
+
+TEST(InstanceStreamTest, LabelNoiseFlipsRoughlyTheConfiguredFraction) {
+  InstanceStreamOptions options;
+  options.num_tuples = 20000;
+  options.dimensions = 8;
+  options.label_noise = 0.25;
+  InstanceStream stream(options);
+  const auto w = stream.true_weights();  // copy: no drift configured
+  size_t flipped = 0;
+  while (auto tuple = stream.Next()) {
+    const auto& inst = std::get<InstanceDelta>(tuple->delta);
+    double dot = 0.0;
+    for (const auto& [idx, value] : inst.features) dot += w[idx] * value;
+    if ((dot >= 0.0 ? 1.0 : -1.0) != inst.label) ++flipped;
+  }
+  EXPECT_NEAR(static_cast<double>(flipped) / 20000.0, 0.25, 0.02);
+}
+
+// ---------------------------------------------------------------------------
+// Reservoir sampling: Section 3.2's correctness condition.
+// ---------------------------------------------------------------------------
+
+TEST(ReservoirTest, KeepsEverythingBelowCapacity) {
+  ReservoirSampler<int> sampler(10, 1);
+  for (int i = 0; i < 10; ++i) sampler.Offer(i);
+  EXPECT_EQ(sampler.size(), 10u);
+  EXPECT_EQ(sampler.seen(), 10u);
+}
+
+TEST(ReservoirTest, UniformInclusionProbability) {
+  // Property (Vitter): after N offers with capacity C, every element is
+  // retained with probability C/N — including the earliest ones. This is
+  // exactly why the paper mandates reservoir (not plain random) sampling
+  // for SGD over evolving data.
+  constexpr int kCapacity = 50;
+  constexpr int kN = 1000;
+  constexpr int kRounds = 400;
+  std::vector<int> retained(kN, 0);
+  for (int round = 0; round < kRounds; ++round) {
+    ReservoirSampler<int> sampler(kCapacity, 1000 + round);
+    for (int i = 0; i < kN; ++i) sampler.Offer(i);
+    for (int v : sampler.items()) retained[v]++;
+  }
+  // Expected retention count per element: kRounds * C / N = 20.
+  const double expected = static_cast<double>(kRounds) * kCapacity / kN;
+  double early = 0.0, late = 0.0;
+  for (int i = 0; i < kN / 4; ++i) early += retained[i];
+  for (int i = 3 * kN / 4; i < kN; ++i) late += retained[i];
+  early /= kN / 4.0;
+  late /= kN / 4.0;
+  EXPECT_NEAR(early, expected, expected * 0.15)
+      << "old elements are under-sampled";
+  EXPECT_NEAR(late, expected, expected * 0.15)
+      << "new elements are under-sampled";
+}
+
+TEST(ReservoirTest, RestoreRoundTrip) {
+  ReservoirSampler<int> sampler(4, 9);
+  for (int i = 0; i < 100; ++i) sampler.Offer(i);
+  auto items = sampler.items();
+  ReservoirSampler<int> restored(4, 9);
+  restored.Restore(items, sampler.seen());
+  EXPECT_EQ(restored.seen(), 100u);
+  EXPECT_EQ(restored.items(), items);
+}
+
+TEST(VectorStreamTest, ReplaysInOrder) {
+  std::vector<Delta> deltas = {EdgeDelta{1, 2, 1.0, true},
+                               EdgeDelta{2, 3, 2.0, true}};
+  VectorStream stream(deltas);
+  EXPECT_EQ(stream.TotalTuples(), 2u);
+  auto first = stream.Next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(std::get<EdgeDelta>(first->delta).src, 1u);
+  auto second = stream.Next();
+  EXPECT_EQ(std::get<EdgeDelta>(second->delta).src, 2u);
+  EXPECT_FALSE(stream.Next().has_value());
+}
+
+}  // namespace
+}  // namespace tornado

@@ -1,0 +1,21 @@
+#ifndef TORNADO_TESTS_TEST_UTIL_H_
+#define TORNADO_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace tornado {
+
+/// Quiets INFO logging for the duration of a test binary.
+class QuietLogs : public ::testing::Environment {
+ public:
+  void SetUp() override { SetLogLevel(LogLevel::kWarning); }
+};
+
+inline const ::testing::Environment* const kQuietLogs =
+    ::testing::AddGlobalTestEnvironment(new QuietLogs);
+
+}  // namespace tornado
+
+#endif  // TORNADO_TESTS_TEST_UTIL_H_

@@ -1,0 +1,27 @@
+#include <cstdio>
+#include <memory>
+#include "common/logging.h"
+#include "bench/bench_util.h"
+#include "stream/instance_stream.h"
+using namespace tornado; using namespace tornado::bench;
+int main() {
+  SetLogLevel(LogLevel::kWarning);
+  JobConfig config = SgdJob(SgdLoss::kSvmHinge, 64, 0.1, DescentSchedule::kStatic, false, 0.02);
+  auto sgd = static_cast<const SgdProgram&>(*config.program).options();
+  sgd.gradient_cost = 1e-8;
+  config.program = std::make_shared<SgdProgram>(sgd);
+  config.ingest_rate = 8000;
+  TornadoCluster cluster(config, std::make_unique<InstanceStream>(BenchDense(30000)));
+  cluster.Start();
+  cluster.RunUntil([&]{ return cluster.loop().now() >= 1.0; }, 100);
+  uint64_t q = cluster.ingester().SubmitQuery();
+  bool ok = cluster.RunUntilQueryDone(q, 600);
+  LoopId b = cluster.BranchOf(q);
+  printf("ok=%d lat=%.3f committed=%llu iters=%llu\n", ok, cluster.QueryLatency(q),
+    (unsigned long long)cluster.master().TotalCommitted(b),
+    (unsigned long long)cluster.master().queries()[0].converged_iteration);
+  auto st = cluster.master().StatsOf(b);
+  for (auto& s2 : st) printf("  it %llu committed=%llu progress=%.6f\n",
+    (unsigned long long)s2.iteration, (unsigned long long)s2.committed, s2.progress);
+  return 0;
+}
