@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_sssp.dir/bench_fig5_sssp.cc.o"
+  "CMakeFiles/bench_fig5_sssp.dir/bench_fig5_sssp.cc.o.d"
+  "bench_fig5_sssp"
+  "bench_fig5_sssp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_sssp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_svm.dir/bench_fig6_svm.cc.o"
+  "CMakeFiles/bench_fig6_svm.dir/bench_fig6_svm.cc.o.d"
+  "bench_fig6_svm"
+  "bench_fig6_svm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_svm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_lr.dir/bench_fig7_lr.cc.o"
+  "CMakeFiles/bench_fig7_lr.dir/bench_fig7_lr.cc.o.d"
+  "bench_fig7_lr"
+  "bench_fig7_lr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_lr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

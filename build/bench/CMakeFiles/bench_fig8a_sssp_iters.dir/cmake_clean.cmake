@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8a_sssp_iters.dir/bench_fig8a_sssp_iters.cc.o"
+  "CMakeFiles/bench_fig8a_sssp_iters.dir/bench_fig8a_sssp_iters.cc.o.d"
+  "bench_fig8a_sssp_iters"
+  "bench_fig8a_sssp_iters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8a_sssp_iters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

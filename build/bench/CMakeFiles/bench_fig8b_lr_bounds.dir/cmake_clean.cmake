@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8b_lr_bounds.dir/bench_fig8b_lr_bounds.cc.o"
+  "CMakeFiles/bench_fig8b_lr_bounds.dir/bench_fig8b_lr_bounds.cc.o.d"
+  "bench_fig8b_lr_bounds"
+  "bench_fig8b_lr_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8b_lr_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_components.cc" "bench/CMakeFiles/bench_micro_components.dir/bench_micro_components.cc.o" "gcc" "bench/CMakeFiles/bench_micro_components.dir/bench_micro_components.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/tornado_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/tornado_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/algos/CMakeFiles/tornado_algos.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tornado_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tornado_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/tornado_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tornado_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tornado_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/tornado_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tornado_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tornado_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/tornado_bench_util.dir/bench_util.cc.o.d"
+  "libtornado_bench_util.a"
+  "libtornado_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tornado_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtornado_bench_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_svm.dir/adaptive_svm.cpp.o"
+  "CMakeFiles/adaptive_svm.dir/adaptive_svm.cpp.o.d"
+  "adaptive_svm"
+  "adaptive_svm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_svm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_tolerant_kmeans.dir/fault_tolerant_kmeans.cpp.o"
+  "CMakeFiles/fault_tolerant_kmeans.dir/fault_tolerant_kmeans.cpp.o.d"
+  "fault_tolerant_kmeans"
+  "fault_tolerant_kmeans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_tolerant_kmeans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

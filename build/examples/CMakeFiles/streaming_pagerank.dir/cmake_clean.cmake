@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_pagerank.dir/streaming_pagerank.cpp.o"
+  "CMakeFiles/streaming_pagerank.dir/streaming_pagerank.cpp.o.d"
+  "streaming_pagerank"
+  "streaming_pagerank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_pagerank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

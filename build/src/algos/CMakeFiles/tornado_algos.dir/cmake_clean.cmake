@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tornado_algos.dir/connected_components.cc.o"
+  "CMakeFiles/tornado_algos.dir/connected_components.cc.o.d"
+  "CMakeFiles/tornado_algos.dir/kmeans.cc.o"
+  "CMakeFiles/tornado_algos.dir/kmeans.cc.o.d"
+  "CMakeFiles/tornado_algos.dir/pagerank.cc.o"
+  "CMakeFiles/tornado_algos.dir/pagerank.cc.o.d"
+  "CMakeFiles/tornado_algos.dir/sgd.cc.o"
+  "CMakeFiles/tornado_algos.dir/sgd.cc.o.d"
+  "CMakeFiles/tornado_algos.dir/sssp.cc.o"
+  "CMakeFiles/tornado_algos.dir/sssp.cc.o.d"
+  "libtornado_algos.a"
+  "libtornado_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tornado_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tornado_baselines.dir/graph_baselines.cc.o"
+  "CMakeFiles/tornado_baselines.dir/graph_baselines.cc.o.d"
+  "CMakeFiles/tornado_baselines.dir/ml_baselines.cc.o"
+  "CMakeFiles/tornado_baselines.dir/ml_baselines.cc.o.d"
+  "CMakeFiles/tornado_baselines.dir/solvers.cc.o"
+  "CMakeFiles/tornado_baselines.dir/solvers.cc.o.d"
+  "libtornado_baselines.a"
+  "libtornado_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tornado_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tornado_common.dir/histogram.cc.o"
+  "CMakeFiles/tornado_common.dir/histogram.cc.o.d"
+  "CMakeFiles/tornado_common.dir/logging.cc.o"
+  "CMakeFiles/tornado_common.dir/logging.cc.o.d"
+  "CMakeFiles/tornado_common.dir/metrics.cc.o"
+  "CMakeFiles/tornado_common.dir/metrics.cc.o.d"
+  "CMakeFiles/tornado_common.dir/rng.cc.o"
+  "CMakeFiles/tornado_common.dir/rng.cc.o.d"
+  "CMakeFiles/tornado_common.dir/serde.cc.o"
+  "CMakeFiles/tornado_common.dir/serde.cc.o.d"
+  "CMakeFiles/tornado_common.dir/status.cc.o"
+  "CMakeFiles/tornado_common.dir/status.cc.o.d"
+  "libtornado_common.a"
+  "libtornado_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tornado_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

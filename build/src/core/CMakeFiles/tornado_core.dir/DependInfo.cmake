@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cluster.cc" "src/core/CMakeFiles/tornado_core.dir/cluster.cc.o" "gcc" "src/core/CMakeFiles/tornado_core.dir/cluster.cc.o.d"
+  "/root/repo/src/core/ingester.cc" "src/core/CMakeFiles/tornado_core.dir/ingester.cc.o" "gcc" "src/core/CMakeFiles/tornado_core.dir/ingester.cc.o.d"
+  "/root/repo/src/core/master.cc" "src/core/CMakeFiles/tornado_core.dir/master.cc.o" "gcc" "src/core/CMakeFiles/tornado_core.dir/master.cc.o.d"
+  "/root/repo/src/core/processor.cc" "src/core/CMakeFiles/tornado_core.dir/processor.cc.o" "gcc" "src/core/CMakeFiles/tornado_core.dir/processor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tornado_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tornado_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tornado_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/tornado_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/tornado_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tornado_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tornado_core.dir/cluster.cc.o"
+  "CMakeFiles/tornado_core.dir/cluster.cc.o.d"
+  "CMakeFiles/tornado_core.dir/ingester.cc.o"
+  "CMakeFiles/tornado_core.dir/ingester.cc.o.d"
+  "CMakeFiles/tornado_core.dir/master.cc.o"
+  "CMakeFiles/tornado_core.dir/master.cc.o.d"
+  "CMakeFiles/tornado_core.dir/processor.cc.o"
+  "CMakeFiles/tornado_core.dir/processor.cc.o.d"
+  "libtornado_core.a"
+  "libtornado_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tornado_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tornado_graph.dir/dynamic_graph.cc.o"
+  "CMakeFiles/tornado_graph.dir/dynamic_graph.cc.o.d"
+  "libtornado_graph.a"
+  "libtornado_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tornado_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtornado_graph.a"
+)

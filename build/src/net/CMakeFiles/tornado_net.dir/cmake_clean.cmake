@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tornado_net.dir/__/sim/failure_injector.cc.o"
+  "CMakeFiles/tornado_net.dir/__/sim/failure_injector.cc.o.d"
+  "CMakeFiles/tornado_net.dir/network.cc.o"
+  "CMakeFiles/tornado_net.dir/network.cc.o.d"
+  "libtornado_net.a"
+  "libtornado_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tornado_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

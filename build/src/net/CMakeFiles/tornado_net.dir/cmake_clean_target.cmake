@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtornado_net.a"
+)

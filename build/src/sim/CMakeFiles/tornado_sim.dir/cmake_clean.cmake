@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tornado_sim.dir/event_loop.cc.o"
+  "CMakeFiles/tornado_sim.dir/event_loop.cc.o.d"
+  "libtornado_sim.a"
+  "libtornado_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tornado_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

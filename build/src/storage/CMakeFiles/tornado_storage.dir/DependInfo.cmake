@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/checkpoint_log.cc" "src/storage/CMakeFiles/tornado_storage.dir/checkpoint_log.cc.o" "gcc" "src/storage/CMakeFiles/tornado_storage.dir/checkpoint_log.cc.o.d"
+  "/root/repo/src/storage/durable_store.cc" "src/storage/CMakeFiles/tornado_storage.dir/durable_store.cc.o" "gcc" "src/storage/CMakeFiles/tornado_storage.dir/durable_store.cc.o.d"
+  "/root/repo/src/storage/versioned_store.cc" "src/storage/CMakeFiles/tornado_storage.dir/versioned_store.cc.o" "gcc" "src/storage/CMakeFiles/tornado_storage.dir/versioned_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tornado_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tornado_storage.dir/checkpoint_log.cc.o"
+  "CMakeFiles/tornado_storage.dir/checkpoint_log.cc.o.d"
+  "CMakeFiles/tornado_storage.dir/durable_store.cc.o"
+  "CMakeFiles/tornado_storage.dir/durable_store.cc.o.d"
+  "CMakeFiles/tornado_storage.dir/versioned_store.cc.o"
+  "CMakeFiles/tornado_storage.dir/versioned_store.cc.o.d"
+  "libtornado_storage.a"
+  "libtornado_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tornado_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

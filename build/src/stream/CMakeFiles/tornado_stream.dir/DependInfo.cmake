@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/graph_stream.cc" "src/stream/CMakeFiles/tornado_stream.dir/graph_stream.cc.o" "gcc" "src/stream/CMakeFiles/tornado_stream.dir/graph_stream.cc.o.d"
+  "/root/repo/src/stream/instance_stream.cc" "src/stream/CMakeFiles/tornado_stream.dir/instance_stream.cc.o" "gcc" "src/stream/CMakeFiles/tornado_stream.dir/instance_stream.cc.o.d"
+  "/root/repo/src/stream/point_stream.cc" "src/stream/CMakeFiles/tornado_stream.dir/point_stream.cc.o" "gcc" "src/stream/CMakeFiles/tornado_stream.dir/point_stream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tornado_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tornado_stream.dir/graph_stream.cc.o"
+  "CMakeFiles/tornado_stream.dir/graph_stream.cc.o.d"
+  "CMakeFiles/tornado_stream.dir/instance_stream.cc.o"
+  "CMakeFiles/tornado_stream.dir/instance_stream.cc.o.d"
+  "CMakeFiles/tornado_stream.dir/point_stream.cc.o"
+  "CMakeFiles/tornado_stream.dir/point_stream.cc.o.d"
+  "libtornado_stream.a"
+  "libtornado_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tornado_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/context_api_test.dir/context_api_test.cc.o"
+  "CMakeFiles/context_api_test.dir/context_api_test.cc.o.d"
+  "context_api_test"
+  "context_api_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/context_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

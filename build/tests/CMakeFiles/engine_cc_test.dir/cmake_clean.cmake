@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_cc_test.dir/engine_cc_test.cc.o"
+  "CMakeFiles/engine_cc_test.dir/engine_cc_test.cc.o.d"
+  "engine_cc_test"
+  "engine_cc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_cc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_kmeans_test.dir/engine_kmeans_test.cc.o"
+  "CMakeFiles/engine_kmeans_test.dir/engine_kmeans_test.cc.o.d"
+  "engine_kmeans_test"
+  "engine_kmeans_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_kmeans_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_pagerank_test.dir/engine_pagerank_test.cc.o"
+  "CMakeFiles/engine_pagerank_test.dir/engine_pagerank_test.cc.o.d"
+  "engine_pagerank_test"
+  "engine_pagerank_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_pagerank_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_sgd_test.dir/engine_sgd_test.cc.o"
+  "CMakeFiles/engine_sgd_test.dir/engine_sgd_test.cc.o.d"
+  "engine_sgd_test"
+  "engine_sgd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_sgd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_sssp_test.dir/engine_sssp_test.cc.o"
+  "CMakeFiles/engine_sssp_test.dir/engine_sssp_test.cc.o.d"
+  "engine_sssp_test"
+  "engine_sssp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_sssp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

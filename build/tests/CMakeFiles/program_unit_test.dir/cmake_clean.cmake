@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/program_unit_test.dir/program_unit_test.cc.o"
+  "CMakeFiles/program_unit_test.dir/program_unit_test.cc.o.d"
+  "program_unit_test"
+  "program_unit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/program_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tornado_inspect.dir/debug_probe.cc.o"
+  "CMakeFiles/tornado_inspect.dir/debug_probe.cc.o.d"
+  "tornado_inspect"
+  "tornado_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tornado_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
