@@ -23,7 +23,16 @@ class MetricRegistry {
     return it == counters_.end() ? 0 : it->second;
   }
 
-  void Reset() { counters_.clear(); }
+  /// Pre-resolved counter handle: interns `name` once and returns a stable
+  /// reference the caller bumps directly, keeping hot paths free of string
+  /// hashing and map lookups. Handles stay valid for the registry's
+  /// lifetime (std::map nodes are stable, and Reset zeroes values in place
+  /// instead of erasing them).
+  int64_t& CounterHandle(const std::string& name) { return counters_[name]; }
+
+  void Reset() {
+    for (auto& [name, value] : counters_) value = 0;
+  }
 
   const std::map<std::string, int64_t>& counters() const { return counters_; }
 

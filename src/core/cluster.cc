@@ -19,6 +19,12 @@ TornadoCluster::TornadoCluster(JobConfig config,
                                        config_.seed ^ 0xA5A5A5A5ULL);
   failures_ = std::make_unique<FailureInjector>(network_.get());
 
+  // Engine accounting flows through the observer list; the metrics bridge
+  // is the first (always-on) subscriber.
+  metrics_observer_ =
+      std::make_unique<MetricsEngineObserver>(&network_->metrics());
+  engine_observers_.Add(metrics_observer_.get());
+
   const HashPartitioner partitioner(config_.num_processors);
   const NodeId master_id = config_.num_processors;
 
@@ -30,7 +36,8 @@ TornadoCluster::TornadoCluster(JobConfig config,
                              ? config_.processor_speeds[p]
                              : 1.0;
     auto proc = std::make_unique<Processor>(p, &config_, &store_, partitioner,
-                                            master_id, /*first_processor=*/0);
+                                            master_id, /*first_processor=*/0,
+                                            &engine_observers_);
     network_->RegisterNode(proc.get(), /*host=*/p % config_.num_hosts, speed);
     processors_.push_back(std::move(proc));
   }

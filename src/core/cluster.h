@@ -9,6 +9,8 @@
 #include "core/ingester.h"
 #include "core/master.h"
 #include "core/processor.h"
+#include "engine/metrics_observer.h"
+#include "engine/observer.h"
 #include "net/network.h"
 #include "sim/event_loop.h"
 #include "sim/failure_injector.h"
@@ -91,11 +93,20 @@ class TornadoCluster {
   NodeId master_node() const { return config_.num_processors; }
   NodeId ingester_node() const { return config_.num_processors + 1; }
 
+  /// Subscribes an extra observer to every processor's engine events
+  /// (debug probes, benches). The observer must outlive the cluster; call
+  /// before any traffic flows to see all events.
+  void AddEngineObserver(EngineObserver* observer) {
+    engine_observers_.Add(observer);
+  }
+
  private:
   JobConfig config_;
   EventLoop loop_;
   std::unique_ptr<Network> network_;
   VersionedStore store_;
+  EngineObserverList engine_observers_;
+  std::unique_ptr<MetricsEngineObserver> metrics_observer_;
   std::vector<std::unique_ptr<Processor>> processors_;
   std::unique_ptr<Master> master_;
   std::unique_ptr<Ingester> ingester_;

@@ -24,7 +24,8 @@ Master::Master(const JobConfig* config, VersionedStore* store,
     : config_(config),
       store_(store),
       first_processor_node_(first_processor_node),
-      ingester_node_(ingester_node) {
+      ingester_node_(ingester_node),
+      policy_(MakeConsistencyPolicy(*config)) {
   LoopControl main;
   main.loop = kMainLoop;
   main.latest.resize(config_->num_processors);
@@ -391,7 +392,7 @@ void Master::MergeBranch(LoopControl& branch) {
   LoopControl& main = main_it->second;
   const Iteration tau =
       main.last_terminated == kNoIteration ? 0 : main.last_terminated + 1;
-  const Iteration merge_iteration = tau + config_->delay_bound;
+  const Iteration merge_iteration = policy_->MergeIteration(tau);
   store_->MergeLoop(branch.loop, kMainLoop, merge_iteration);
   auto adopt = std::make_shared<AdoptMergeMsg>();
   adopt->loop = kMainLoop;

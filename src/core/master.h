@@ -9,6 +9,7 @@
 #include "common/types.h"
 #include "core/config.h"
 #include "core/messages.h"
+#include "engine/consistency_policy.h"
 #include "net/network.h"
 #include "storage/versioned_store.h"
 
@@ -117,6 +118,8 @@ class Master : public Node {
   VersionedStore* store_;
   NodeId first_processor_node_;
   NodeId ingester_node_;
+  /// Where branch merges land relative to τ (engine/consistency_policy.h).
+  std::unique_ptr<ConsistencyPolicy> policy_;
   std::map<LoopId, LoopControl> loops_;
   std::vector<QueryRecord> queries_;
   /// Queries awaiting a branch slot: (query id, submit time).

@@ -4,116 +4,22 @@
 #include <utility>
 
 #include "common/logging.h"
-#include "common/metrics.h"
-#include "common/serde.h"
 
 namespace tornado {
 
-namespace {
-
-/// The context handed to program callbacks. Emissions and graph mutations
-/// are buffered and applied by the session layer after the callback
-/// returns, so a misbehaving program cannot corrupt protocol state.
-class ProcessorContext : public VertexContext {
- public:
-  enum class Mode { kInput, kUpdate, kScatter };
-
-  ProcessorContext(Mode mode, VertexId id, LoopId loop, Iteration iteration,
-                   VertexState* state, std::vector<VertexId>* targets,
-                   std::vector<VertexId>* retiring, Rng* rng, Network* net)
-      : mode_(mode),
-        id_(id),
-        loop_(loop),
-        iteration_(iteration),
-        state_(state),
-        targets_(targets),
-        retiring_(retiring),
-        rng_(rng),
-        net_(net) {}
-
-  VertexId id() const override { return id_; }
-  LoopId loop() const override { return loop_; }
-  bool is_main_loop() const override { return loop_ == kMainLoop; }
-  Iteration iteration() const override { return iteration_; }
-  VertexState* state() override { return state_; }
-
-  void AddTarget(VertexId target) override {
-    TCHECK(mode_ == Mode::kInput)
-        << "AddTarget is only legal while gathering an input";
-    TCHECK_NE(target, id_) << "self-dependencies are not supported";
-    if (std::find(targets_->begin(), targets_->end(), target) !=
-        targets_->end()) {
-      return;
-    }
-    targets_->push_back(target);
-    // Re-adding a target cancels its retirement.
-    auto it = std::find(retiring_->begin(), retiring_->end(), target);
-    if (it != retiring_->end()) retiring_->erase(it);
-  }
-
-  void RemoveTarget(VertexId target) override {
-    TCHECK(mode_ == Mode::kInput)
-        << "RemoveTarget is only legal while gathering an input";
-    auto it = std::find(targets_->begin(), targets_->end(), target);
-    if (it == targets_->end()) return;
-    targets_->erase(it);
-    if (std::find(retiring_->begin(), retiring_->end(), target) ==
-        retiring_->end()) {
-      retiring_->push_back(target);
-    }
-  }
-
-  const std::vector<VertexId>& targets() const override { return *targets_; }
-  const std::vector<VertexId>& retiring_targets() const override {
-    return *retiring_;
-  }
-
-  void EmitToTargets(const VertexUpdate& update) override {
-    TCHECK(mode_ == Mode::kScatter) << "emissions are only legal in Scatter";
-    for (VertexId t : *targets_) emissions.emplace_back(t, update);
-  }
-
-  void EmitTo(VertexId target, const VertexUpdate& update) override {
-    TCHECK(mode_ == Mode::kScatter) << "emissions are only legal in Scatter";
-    emissions.emplace_back(target, update);
-  }
-
-  void AddCost(double seconds) override {
-    net_->AddHandlerCost(seconds);
-  }
-
-  void AddProgress(double delta) override { progress += delta; }
-
-  Rng* rng() override { return rng_; }
-
-  std::vector<std::pair<VertexId, VertexUpdate>> emissions;
-  double progress = 0.0;
-
- private:
-  Mode mode_;
-  VertexId id_;
-  LoopId loop_;
-  Iteration iteration_;
-  VertexState* state_;
-  std::vector<VertexId>* targets_;
-  std::vector<VertexId>* retiring_;
-  Rng* rng_;
-  Network* net_;
-};
-
-}  // namespace
-
 Processor::Processor(uint32_t index, const JobConfig* config,
                      VersionedStore* store, HashPartitioner partitioner,
-                     NodeId master_node, NodeId first_processor_node)
+                     NodeId master_node, NodeId first_processor_node,
+                     EngineObserver* observer)
     : index_(index),
       config_(config),
-      store_(store),
       partitioner_(partitioner),
       master_node_(master_node),
       first_processor_node_(first_processor_node),
-      clock_(index + 1),
-      rng_(config->seed ^ (0x5851F42D4C957F2DULL * (index + 1))) {}
+      policy_(MakeConsistencyPolicy(*config)),
+      sessions_(config, store),
+      machine_(index, config, &sessions_, policy_.get(), partitioner,
+               observer) {}
 
 void Processor::Start() {
   if (started_) return;
@@ -121,7 +27,7 @@ void Processor::Start() {
   // Materialize the main loop eagerly: the master needs a progress report
   // from every processor — including ones whose partition has no vertices
   // yet — before it can terminate an iteration.
-  FindLoop(kMainLoop, 0);
+  machine_.EnsureMainLoop();
   auto hello = std::make_shared<ProcessorHelloMsg>();
   hello->processor = index_;
   hello->restarted = announce_restart_;
@@ -139,678 +45,46 @@ void Processor::OnRestart() {
   // The worker process was restarted by the supervisor: all in-memory
   // session state is gone (Section 5.3). Announce the restart; the master
   // rolls every active loop back to its last terminated iteration.
-  loops_.clear();
-  orphans_.clear();
+  machine_.Reset();
   started_ = false;
   announce_restart_ = true;
   Start();
 }
 
-void Processor::DumpState() const {
-  for (const auto& [loop, rt] : loops_) {
-    TLOG_INFO << "proc " << index_ << " loop " << loop << " epoch " << rt.epoch
-              << " tau=" << rt.tau << " vertices=" << rt.vertices.size()
-              << " blocked=" << rt.blocked_count
-              << " stalled=" << rt.stalled.size();
-    for (const auto& [v, s] : rt.vertices) {
-      if (!s.dirty && !s.update_time.has_value() && s.prepare_list.empty() &&
-          s.pending_inputs.empty()) {
-        continue;
-      }
-      std::string plist, wlist;
-      for (VertexId p : s.prepare_list) plist += std::to_string(p) + ",";
-      for (VertexId w : s.waiting_list) wlist += std::to_string(w) + ",";
-      TLOG_INFO << "  v" << v << " iter=" << s.iter << " last_commit="
-                << static_cast<int64_t>(s.last_commit) << " dirty=" << s.dirty
-                << " preparing=" << s.update_time.has_value()
-                << " prepare_list=[" << plist << "] waiting=[" << wlist
-                << "] pending_inputs=" << s.pending_inputs.size()
-                << " pending_acks=" << s.pending_list.size();
-    }
-    for (const auto& [iter, c] : rt.buckets) {
-      TLOG_INFO << "  bucket " << iter << " committed=" << c.committed
-                << " sent=" << c.sent << " owned=" << c.owned
-                << " gathered=" << c.gathered;
+void Processor::Execute(EngineActions& actions) {
+  for (EngineActions::Outbound& o : actions.messages) {
+    if (o.to_master) {
+      Send(master_node_, std::move(o.payload));
+    } else {
+      Send(NodeOfVertex(o.dst_vertex), std::move(o.payload));
     }
   }
+  if (actions.cost != 0.0) AddCost(actions.cost);
+  actions.Clear();
 }
 
 void Processor::OnMessage(NodeId src, const Payload& msg) {
   (void)src;
-  if (const auto* m = dynamic_cast<const UpdateMsg*>(&msg)) {
-    HandleUpdate(*m);
-  } else if (const auto* m = dynamic_cast<const PrepareMsg*>(&msg)) {
-    HandlePrepare(*m);
-  } else if (const auto* m = dynamic_cast<const AckMsg*>(&msg)) {
-    HandleAck(*m);
-  } else if (const auto* m = dynamic_cast<const InputMsg*>(&msg)) {
-    HandleInput(*m);
-  } else if (const auto* m = dynamic_cast<const TerminatedMsg*>(&msg)) {
-    HandleTerminated(*m);
-  } else if (const auto* m = dynamic_cast<const ForkBranchMsg*>(&msg)) {
-    HandleForkBranch(*m);
-  } else if (const auto* m = dynamic_cast<const RestartLoopMsg*>(&msg)) {
-    HandleRestartLoop(*m);
-  } else if (const auto* m = dynamic_cast<const StopLoopMsg*>(&msg)) {
-    HandleStopLoop(*m);
-  } else if (const auto* m = dynamic_cast<const AdoptMergeMsg*>(&msg)) {
-    HandleAdoptMerge(*m);
-  } else if (dynamic_cast<const MasterHelloMsg*>(&msg) != nullptr) {
+  EngineActions actions;
+  if (machine_.Dispatch(msg, &actions)) {
+    Execute(actions);
+    return;
+  }
+  if (dynamic_cast<const MasterHelloMsg*>(&msg) != nullptr) {
     SendProgressReports();
-  } else {
-    TLOG_WARN << "processor " << index_ << ": unknown message " << msg.name();
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Loop / vertex bookkeeping
-// ---------------------------------------------------------------------------
-
-void Processor::MaybeOrphan(LoopId loop, LoopEpoch epoch, PayloadPtr msg) {
-  // Park only messages from the future (loop unknown, or a newer epoch than
-  // ours); stale-epoch traffic is discarded, as Section 5.3 requires.
-  auto it = loops_.find(loop);
-  if (it != loops_.end() && it->second.epoch >= epoch) return;
-  orphans_[{loop, epoch}].push_back(std::move(msg));
-}
-
-void Processor::ReplayOrphans(LoopId loop, LoopEpoch epoch) {
-  // Drop parked traffic for superseded epochs of this loop.
-  for (auto it = orphans_.begin(); it != orphans_.end();) {
-    if (it->first.first == loop && it->first.second < epoch) {
-      it = orphans_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-  auto it = orphans_.find({loop, epoch});
-  if (it == orphans_.end()) return;
-  std::vector<PayloadPtr> batch = std::move(it->second);
-  orphans_.erase(it);
-  for (const PayloadPtr& msg : batch) OnMessage(id(), *msg);
-}
-
-Processor::LoopRuntime* Processor::FindLoop(LoopId loop, LoopEpoch epoch) {
-  auto it = loops_.find(loop);
-  if (it == loops_.end()) {
-    if (loop == kMainLoop && epoch == 0) {
-      // The main loop materializes lazily when the first input arrives.
-      LoopRuntime rt;
-      rt.loop = kMainLoop;
-      rt.epoch = 0;
-      return &loops_.emplace(kMainLoop, std::move(rt)).first->second;
-    }
-    return nullptr;
-  }
-  if (it->second.epoch != epoch) return nullptr;  // stale incarnation
-  return &it->second;
-}
-
-bool Processor::LoadVertexFromStore(LoopRuntime& rt, VertexId id,
-                                    Iteration at, VertexSession* out) {
-  const std::vector<uint8_t>* blob = store_->Get(rt.loop, id, at);
-  if (blob == nullptr) return false;
-  BufferReader reader(*blob);
-  out->state = config_->program->DeserializeState(&reader);
-  std::vector<uint64_t> targets;
-  TCHECK(reader.GetU64Vec(&targets).ok()) << "corrupt vertex record";
-  out->targets.assign(targets.begin(), targets.end());
-  const Iteration version = store_->GetVersionIteration(rt.loop, id, at);
-  out->iter = version;
-  out->last_commit = version;
-  return true;
-}
-
-Processor::VertexSession& Processor::GetOrCreateVertex(LoopRuntime& rt,
-                                                       VertexId id) {
-  auto it = rt.vertices.find(id);
-  if (it != rt.vertices.end()) return it->second;
-
-  VertexSession s;
-  s.id = id;
-  s.rng = Rng(config_->seed ^ (id * 0x9E3779B97F4A7C15ULL) ^
-              (static_cast<uint64_t>(rt.loop) << 32));
-  if (!LoadVertexFromStore(rt, id, BoundIteration(rt), &s)) {
-    s.state = config_->program->CreateState(id);
-    s.iter = rt.tau;
-    s.last_commit = kNoIteration;
-  }
-  return rt.vertices.emplace(id, std::move(s)).first->second;
-}
-
-void Processor::PersistVertex(LoopRuntime& rt, VertexSession& s,
-                              Iteration iteration) {
-  BufferWriter writer;
-  s.state->Serialize(&writer);
-  writer.PutU64Vec(
-      std::vector<uint64_t>(s.targets.begin(), s.targets.end()));
-  store_->Put(rt.loop, s.id, iteration, writer.Release());
-  AddCost(config_->cost.store_write_cost);
-  ++rt.writes_since_flush;
-}
-
-Iteration Processor::MinCommitIteration(const LoopRuntime& rt,
-                                        const VertexSession& s) const {
-  Iteration mc = std::max(s.iter, rt.tau);
-  if (s.last_commit != kNoIteration && s.last_commit + 1 > mc) {
-    mc = s.last_commit + 1;
-  }
-  return mc;
-}
-
-// ---------------------------------------------------------------------------
-// Protocol: gathering
-// ---------------------------------------------------------------------------
-
-void Processor::HandleInput(const InputMsg& msg) {
-  LoopRuntime* rt = FindLoop(msg.loop, msg.epoch);
-  if (rt == nullptr) {
-    MaybeOrphan(msg.loop, msg.epoch, std::make_shared<InputMsg>(msg));
     return;
   }
-  VertexSession& s = GetOrCreateVertex(*rt, msg.target);
-  if (s.update_time.has_value()) {
-    // Inputs may mutate the consumer set, so they are not gathered while
-    // the vertex prepares its update (Section 4.2, OnReceiveAcknowledge).
-    s.pending_inputs.push_back(msg.delta);
-    return;
-  }
-  GatherInput(*rt, s, msg.delta);
-  MaybePrepare(*rt, s);
+  TLOG_WARN << "processor " << index_ << ": unknown message " << msg.name();
 }
-
-void Processor::GatherInput(LoopRuntime& rt, VertexSession& s,
-                            const Delta& delta) {
-  TCHECK(!s.update_time.has_value());
-  ++rt.inputs_gathered;
-  network()->metrics().Inc(metric::kInputsGathered);
-  // Inputs gathered while iteration tau is closing belong to the *next*
-  // iteration (Section 3.3: ΔS_i are "the inputs collected in the i-th
-  // iteration", consumed by update i+1). Without this, a continuous input
-  // stream would keep adding work to tau and no iteration of the main
-  // loop could ever terminate.
-  if (s.iter < rt.tau + 1) s.iter = rt.tau + 1;
-  ProcessorContext ctx(ProcessorContext::Mode::kInput, s.id, rt.loop, s.iter,
-                       s.state.get(), &s.targets, &s.retiring, &s.rng,
-                       network());
-  const bool changed = config_->program->OnInput(ctx, delta);
-  AddCost(config_->cost.per_update_cpu + config_->program->GatherCost());
-  if (changed || !s.retiring.empty()) s.dirty = true;
-}
-
-void Processor::HandleUpdate(const UpdateMsg& msg) {
-  LoopRuntime* rt = FindLoop(msg.loop, msg.epoch);
-  if (rt == nullptr) {
-    MaybeOrphan(msg.loop, msg.epoch, std::make_shared<UpdateMsg>(msg));
-    return;
-  }
-  rt->buckets[msg.iteration].owned++;
-  VertexSession& s = GetOrCreateVertex(*rt, msg.dst_vertex);
-  if (msg.iteration >= BoundIteration(*rt)) {
-    // Delay-bound enforcement (Section 4.4): updates of iteration
-    // tau + B - 1 are gathered only once iteration tau terminates.
-    rt->blocked[msg.iteration].push_back(
-        BlockedUpdate{msg.src_vertex, msg.dst_vertex, msg.iteration,
-                      msg.update});
-    ++rt->blocked_count;
-    network()->metrics().Inc(metric::kUpdatesBlocked);
-    // The producer has committed even though the value cannot be gathered
-    // yet; the consumer is no longer involved in its preparation and may
-    // schedule its own (earlier-iteration) update.
-    s.prepare_list.erase(msg.src_vertex);
-    MaybePrepare(*rt, s);
-    return;
-  }
-  GatherUpdate(*rt, s, msg.src_vertex, msg.iteration, msg.update);
-}
-
-void Processor::GatherUpdate(LoopRuntime& rt, VertexSession& s,
-                             VertexId source, Iteration iteration,
-                             const VertexUpdate& update) {
-  rt.buckets[iteration].gathered++;
-  // The producer has committed: the consumer is no longer involved in its
-  // preparation.
-  s.prepare_list.erase(source);
-
-  if (update.kind == kNoopUpdateKind) {
-    // Commit notification without a value change: observe the iteration,
-    // release the producer, but do not re-dirty the vertex.
-    s.iter = std::max({s.iter, iteration + 1, rt.tau});
-    MaybePrepare(rt, s);
-    return;
-  }
-
-  if (iteration < s.merge_floor) {
-    // In-transit update from before a branch merge was adopted; the merged
-    // version at tau + B supersedes it (Section 5.2).
-    MaybePrepare(rt, s);
-    return;
-  }
-
-  s.iter = std::max({s.iter, iteration + 1, rt.tau});
-  ProcessorContext ctx(ProcessorContext::Mode::kUpdate, s.id, rt.loop, s.iter,
-                       s.state.get(), &s.targets, &s.retiring, &s.rng,
-                       network());
-  if (config_->program->OnUpdate(ctx, source, iteration, update)) {
-    s.dirty = true;
-  }
-  AddCost(config_->cost.per_update_cpu + config_->program->GatherCost());
-  MaybePrepare(rt, s);
-}
-
-// ---------------------------------------------------------------------------
-// Protocol: prepare phase
-// ---------------------------------------------------------------------------
-
-void Processor::MaybePrepare(LoopRuntime& rt, VertexSession& s) {
-  if (!s.dirty || s.update_time.has_value() || !s.prepare_list.empty()) {
-    return;
-  }
-  const Iteration mc = MinCommitIteration(rt, s);
-  const Iteration bound = BoundIteration(rt);
-  if (mc > bound) {
-    // The vertex already committed at the bound; it must wait for tau to
-    // advance before it may be scheduled again.
-    rt.stalled.insert(s.id);
-    return;
-  }
-  rt.stalled.erase(s.id);
-
-  std::vector<VertexId> consumers = s.targets;
-  consumers.insert(consumers.end(), s.retiring.begin(), s.retiring.end());
-
-  if (consumers.empty()) {
-    Commit(rt, s, mc);
-    return;
-  }
-  if (mc == bound) {
-    // Section 4.4: a component updated in iteration tau + B - 1 commits
-    // without PREPARE messages — no consumer can report a later iteration.
-    Commit(rt, s, bound);
-    return;
-  }
-
-  s.update_time = clock_.Tick();
-  for (VertexId c : consumers) s.waiting_list.insert(c);
-  for (VertexId c : consumers) {
-    auto prep = std::make_shared<PrepareMsg>();
-    prep->loop = rt.loop;
-    prep->epoch = rt.epoch;
-    prep->src_vertex = s.id;
-    prep->dst_vertex = c;
-    prep->time = *s.update_time;
-    Send(NodeOfVertex(c), std::move(prep));
-  }
-  rt.prepares_sent += consumers.size();
-  network()->metrics().Inc(metric::kPreparesSent,
-                           static_cast<int64_t>(consumers.size()));
-}
-
-void Processor::HandlePrepare(const PrepareMsg& msg) {
-  LoopRuntime* rt = FindLoop(msg.loop, msg.epoch);
-  if (rt == nullptr) {
-    MaybeOrphan(msg.loop, msg.epoch, std::make_shared<PrepareMsg>(msg));
-    return;
-  }
-  VertexSession& s = GetOrCreateVertex(*rt, msg.dst_vertex);
-  clock_.Witness(msg.time);
-  s.prepare_list.insert(msg.src_vertex);
-  rt->stalled.erase(s.id);  // can no longer self-prepare until released
-
-  // Acknowledge unless we are preparing an update that happens-before the
-  // producer's (the Lamport order makes acknowledgements acyclic, so the
-  // minimum-time preparer always makes progress). Vertices carried past
-  // the bound by a branch merge (iter = tau + B) report the bound instead:
-  // in-window producers keep committing in-window and the merge floor
-  // discards their in-transit updates (Section 5.2).
-  if (!s.update_time.has_value() || *s.update_time > msg.time) {
-    auto ack = std::make_shared<AckMsg>();
-    ack->loop = rt->loop;
-    ack->epoch = rt->epoch;
-    ack->src_vertex = s.id;
-    ack->dst_vertex = msg.src_vertex;
-    ack->iteration = std::min(s.iter, BoundIteration(*rt));
-    Send(NodeOfVertex(msg.src_vertex), std::move(ack));
-    network()->metrics().Inc(metric::kAcksSent);
-  } else {
-    s.pending_list.emplace_back(msg.src_vertex, msg.time);
-  }
-}
-
-void Processor::HandleAck(const AckMsg& msg) {
-  LoopRuntime* rt = FindLoop(msg.loop, msg.epoch);
-  if (rt == nullptr) {
-    MaybeOrphan(msg.loop, msg.epoch, std::make_shared<AckMsg>(msg));
-    return;
-  }
-  auto it = rt->vertices.find(msg.dst_vertex);
-  if (it == rt->vertices.end()) return;
-  VertexSession& s = it->second;
-  if (!s.update_time.has_value()) return;  // stale ack
-  s.iter = std::max(s.iter, msg.iteration);
-  s.waiting_list.erase(msg.src_vertex);
-  if (s.waiting_list.empty()) {
-    // Acks are capped at the bound, but tau can regress relative to a
-    // just-received notification ordering; clamp defensively.
-    const Iteration c =
-        std::min(MinCommitIteration(*rt, s), BoundIteration(*rt));
-    Commit(*rt, s, c);
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Protocol: commit phase
-// ---------------------------------------------------------------------------
-
-void Processor::Commit(LoopRuntime& rt, VertexSession& s,
-                       Iteration iteration) {
-  s.update_time.reset();
-  s.dirty = false;
-  s.last_commit = iteration;
-  s.iter = iteration;
-
-  ProcessorContext ctx(ProcessorContext::Mode::kScatter, s.id, rt.loop,
-                       iteration, s.state.get(), &s.targets, &s.retiring,
-                       &s.rng, network());
-  config_->program->Scatter(ctx);
-  AddCost(config_->cost.per_update_cpu + config_->program->ScatterCost());
-
-  std::set<VertexId> notified;
-  for (auto& [target, update] : ctx.emissions) {
-    TCHECK_NE(update.kind, kNoopUpdateKind)
-        << "programs must not emit the reserved no-op kind";
-    auto upd = std::make_shared<UpdateMsg>();
-    upd->loop = rt.loop;
-    upd->epoch = rt.epoch;
-    upd->src_vertex = s.id;
-    upd->dst_vertex = target;
-    upd->iteration = iteration;
-    upd->update = std::move(update);
-    Send(NodeOfVertex(target), std::move(upd));
-    rt.buckets[iteration].sent++;
-    notified.insert(target);
-  }
-  // Every consumer observes the commit (Rule 1 of Section 4.1): fill in
-  // no-op notifications for targets the program did not emit to, so their
-  // PrepareLists drain and the protocol stays live.
-  auto notify_noop = [&](VertexId target) {
-    if (notified.count(target) > 0) return;
-    auto upd = std::make_shared<UpdateMsg>();
-    upd->loop = rt.loop;
-    upd->epoch = rt.epoch;
-    upd->src_vertex = s.id;
-    upd->dst_vertex = target;
-    upd->iteration = iteration;
-    upd->update.kind = kNoopUpdateKind;
-    Send(NodeOfVertex(target), std::move(upd));
-    rt.buckets[iteration].sent++;
-  };
-  for (VertexId target : s.targets) notify_noop(target);
-  for (VertexId target : s.retiring) notify_noop(target);
-
-  rt.buckets[iteration].committed++;
-  rt.buckets[iteration].progress += ctx.progress;
-  rt.progress[iteration] += ctx.progress;
-  network()->metrics().Inc(metric::kUpdatesCommitted);
-
-  PersistVertex(rt, s, iteration);
-
-  // Reply to producers whose PREPAREs were deferred behind this update.
-  for (auto& [producer, time] : s.pending_list) {
-    auto ack = std::make_shared<AckMsg>();
-    ack->loop = rt.loop;
-    ack->epoch = rt.epoch;
-    ack->src_vertex = s.id;
-    ack->dst_vertex = producer;
-    ack->iteration = s.iter;
-    Send(NodeOfVertex(producer), std::move(ack));
-    network()->metrics().Inc(metric::kAcksSent);
-  }
-  s.pending_list.clear();
-  s.retiring.clear();
-
-  // Inputs that arrived during the preparation are gathered now.
-  while (!s.pending_inputs.empty()) {
-    Delta delta = std::move(s.pending_inputs.front());
-    s.pending_inputs.pop_front();
-    GatherInput(rt, s, delta);
-  }
-  MaybePrepare(rt, s);
-}
-
-// ---------------------------------------------------------------------------
-// Termination notifications, delay-bound release
-// ---------------------------------------------------------------------------
-
-void Processor::HandleTerminated(const TerminatedMsg& msg) {
-  LoopRuntime* rt = FindLoop(msg.loop, msg.epoch);
-  if (rt == nullptr) {
-    MaybeOrphan(msg.loop, msg.epoch, std::make_shared<TerminatedMsg>(msg));
-    return;
-  }
-  if (msg.upto + 1 <= rt->tau) return;  // duplicate notification
-  rt->tau = msg.upto + 1;
-
-  // Old buckets can no longer change; drop them to keep reports small.
-  for (auto it = rt->buckets.begin(); it != rt->buckets.end();) {
-    if (it->first + 1 < rt->tau) {
-      it = rt->buckets.erase(it);
-    } else {
-      break;
-    }
-  }
-  for (auto it = rt->progress.begin(); it != rt->progress.end();) {
-    if (it->first + 1 < rt->tau) {
-      it = rt->progress.erase(it);
-    } else {
-      break;
-    }
-  }
-
-  ReleaseBlocked(*rt);
-  RetryStalled(*rt);
-}
-
-void Processor::ReleaseBlocked(LoopRuntime& rt) {
-  // Updates with iteration <= tau + B - 2 are now gatherable.
-  while (!rt.blocked.empty() &&
-         rt.blocked.begin()->first < BoundIteration(rt)) {
-    std::vector<BlockedUpdate> batch = std::move(rt.blocked.begin()->second);
-    rt.blocked.erase(rt.blocked.begin());
-    for (BlockedUpdate& b : batch) {
-      TCHECK_GE(rt.blocked_count, 1u);
-      --rt.blocked_count;
-      VertexSession& s = GetOrCreateVertex(rt, b.dst);
-      GatherUpdate(rt, s, b.src, b.iteration, b.update);
-    }
-  }
-}
-
-void Processor::RetryStalled(LoopRuntime& rt) {
-  std::vector<VertexId> retry(rt.stalled.begin(), rt.stalled.end());
-  for (VertexId v : retry) {
-    auto it = rt.vertices.find(v);
-    if (it == rt.vertices.end()) {
-      rt.stalled.erase(v);
-      continue;
-    }
-    MaybePrepare(rt, it->second);
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Branch loops (fork / merge), recovery
-// ---------------------------------------------------------------------------
-
-void Processor::HandleForkBranch(const ForkBranchMsg& msg) {
-  if (loops_.count(msg.branch) > 0) return;  // duplicate
-  LoopRuntime rt;
-  rt.loop = msg.branch;
-  rt.epoch = msg.epoch;
-  rt.tau = 0;
-  LoopRuntime& branch =
-      loops_.emplace(msg.branch, std::move(rt)).first->second;
-
-  // Load this partition's slice of the snapshot (materialized by the
-  // master under the branch loop id at iteration 0).
-  size_t loaded = 0;
-  for (VertexId v : store_->VerticesOf(msg.branch)) {
-    if (partitioner_.PartitionOf(v) != index_) continue;
-    VertexSession& s = GetOrCreateVertex(branch, v);
-    ++loaded;
-    if (config_->program->ActivateOnFork(*s.state)) {
-      s.dirty = true;
-    }
-  }
-  AddCost(config_->cost.store_write_cost * static_cast<double>(loaded));
-
-  // Transfer the main loop's in-flight frontier: vertices that are active
-  // or committed beyond the snapshot start the branch dirty — this is the
-  // approximation error the branch has to resolve (Section 3.3).
-  auto parent_it = loops_.find(msg.parent);
-  if (parent_it != loops_.end()) {
-    LoopRuntime& parent = parent_it->second;
-    for (auto& [v, ps] : parent.vertices) {
-      // Vertices committed *at* the snapshot iteration are included: their
-      // updates may still have been in flight toward consumers when the
-      // snapshot was cut, so they must re-scatter in the branch.
-      const bool active = ps.dirty || ps.update_time.has_value() ||
-                          !ps.pending_inputs.empty() ||
-                          (ps.last_commit != kNoIteration &&
-                           ps.last_commit >= msg.snapshot_iteration);
-      if (!active) continue;
-      VertexSession& s = GetOrCreateVertex(branch, v);
-      s.dirty = true;
-      config_->program->OnRestore(s.state.get());
-    }
-    for (auto& [iter, batch] : parent.blocked) {
-      for (const BlockedUpdate& b : batch) {
-        VertexSession& s = GetOrCreateVertex(branch, b.dst);
-        s.dirty = true;
-        config_->program->OnRestore(s.state.get());
-      }
-    }
-  }
-
-  std::vector<VertexId> ids;
-  ids.reserve(branch.vertices.size());
-  for (auto& [v, s] : branch.vertices) ids.push_back(v);
-  for (VertexId v : ids) MaybePrepare(branch, branch.vertices.at(v));
-
-  ReplayOrphans(msg.branch, msg.epoch);
-  // Report immediately so an empty branch converges quickly.
-  ReportLoop(loops_.at(msg.branch));
-}
-
-void Processor::HandleRestartLoop(const RestartLoopMsg& msg) {
-  loops_.erase(msg.loop);
-  LoopRuntime rt;
-  rt.loop = msg.loop;
-  rt.epoch = msg.new_epoch;
-  rt.tau =
-      msg.from_iteration == kNoIteration ? 0 : msg.from_iteration + 1;
-  LoopRuntime& loop = loops_.emplace(msg.loop, std::move(rt)).first->second;
-
-  if (msg.from_iteration != kNoIteration) {
-    size_t loaded = 0;
-    for (VertexId v : store_->VerticesOf(msg.loop)) {
-      if (partitioner_.PartitionOf(v) != index_) continue;
-      VertexSession s;
-      s.id = v;
-      s.rng = Rng(config_->seed ^ (v * 0x9E3779B97F4A7C15ULL) ^
-                  (static_cast<uint64_t>(msg.loop) << 32));
-      if (!LoadVertexFromStore(loop, v, msg.from_iteration, &s)) continue;
-      // Re-drive the computation from the checkpoint: every restored
-      // vertex re-scatters once so work lost in the rollback is redone.
-      s.dirty = true;
-      config_->program->OnRestore(s.state.get());
-      loop.vertices.emplace(v, std::move(s));
-      ++loaded;
-    }
-    AddCost(config_->cost.store_write_cost * static_cast<double>(loaded));
-    std::vector<VertexId> ids;
-    ids.reserve(loop.vertices.size());
-    for (auto& [v, s] : loop.vertices) ids.push_back(v);
-    for (VertexId v : ids) MaybePrepare(loop, loop.vertices.at(v));
-  }
-  ReplayOrphans(msg.loop, msg.new_epoch);
-  ReportLoop(loops_.at(msg.loop));
-}
-
-void Processor::HandleStopLoop(const StopLoopMsg& msg) {
-  loops_.erase(msg.loop);
-}
-
-void Processor::HandleAdoptMerge(const AdoptMergeMsg& msg) {
-  LoopRuntime* rt = FindLoop(msg.loop, msg.epoch);
-  if (rt == nullptr) return;
-  for (VertexId v : store_->VerticesWithVersionAt(msg.loop,
-                                                  msg.merge_iteration)) {
-    if (partitioner_.PartitionOf(v) != index_) continue;
-    VertexSession& s = GetOrCreateVertex(*rt, v);
-    if (s.update_time.has_value()) continue;  // mid-prepare: skip adoption
-    VertexSession fresh;
-    fresh.id = v;
-    fresh.rng = s.rng;
-    if (!LoadVertexFromStore(*rt, v, msg.merge_iteration, &fresh)) continue;
-    s.state = std::move(fresh.state);
-    s.targets = std::move(fresh.targets);
-    s.iter = std::max(s.iter, msg.merge_iteration);
-    if (s.last_commit == kNoIteration || s.last_commit < msg.merge_iteration) {
-      s.last_commit = msg.merge_iteration;
-    }
-    s.merge_floor = msg.merge_iteration;
-    s.dirty = false;
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Progress reporting (with flush-before-report checkpointing)
-// ---------------------------------------------------------------------------
 
 void Processor::SendProgressReports() {
-  for (auto& [loop, rt] : loops_) ReportLoop(rt);
+  EngineActions actions;
+  for (auto& [loop, ls] : sessions_.loops()) {
+    machine_.BuildReport(ls, &actions);
+  }
+  Execute(actions);
   ScheduleSelf(config_->cost.progress_period,
                [this]() { SendProgressReports(); });
-}
-
-void Processor::ReportLoop(LoopRuntime& rt) {
-  if (rt.writes_since_flush > 0) {
-    // Section 5.3: "before [reporting progress], it should flush all the
-    // versions produced in the iteration to disks".
-    AddCost(config_->cost.flush_base_cost +
-            config_->cost.flush_per_version *
-                static_cast<double>(rt.writes_since_flush));
-    store_->Flush(rt.loop, BoundIteration(rt));
-    network()->metrics().Inc(metric::kVersionsFlushed,
-                             static_cast<int64_t>(rt.writes_since_flush));
-    rt.writes_since_flush = 0;
-  }
-
-  auto report = std::make_shared<ProgressMsg>();
-  report->loop = rt.loop;
-  report->epoch = rt.epoch;
-  report->processor = index_;
-  report->local_tau = rt.tau;
-  report->blocked_updates = rt.blocked_count;
-  report->inputs_gathered = rt.inputs_gathered;
-  report->prepares_sent = rt.prepares_sent;
-  report->report_seq = ++rt.report_seq;
-  report->buckets = rt.buckets;
-
-  Iteration min_work = kNoIteration;
-  for (const auto& [v, s] : rt.vertices) {
-    if (!s.dirty && !s.update_time.has_value()) continue;
-    const Iteration mc = MinCommitIteration(rt, s);
-    if (mc < min_work) min_work = mc;
-  }
-  report->min_work_iter = min_work;
-
-  double progress_sum = 0.0;
-  for (const auto& [iter, p] : rt.progress) progress_sum += p;
-  report->progress_sum = progress_sum;
-
-  Send(master_node_, std::move(report));
 }
 
 }  // namespace tornado

@@ -1,21 +1,14 @@
 #ifndef TORNADO_CORE_PROCESSOR_H_
 #define TORNADO_CORE_PROCESSOR_H_
 
-#include <deque>
-#include <map>
 #include <memory>
-#include <optional>
-#include <set>
-#include <unordered_map>
-#include <unordered_set>
-#include <vector>
 
-#include "common/lamport_clock.h"
-#include "common/rng.h"
-#include "common/types.h"
 #include "core/config.h"
 #include "core/messages.h"
-#include "core/vertex_program.h"
+#include "engine/consistency_policy.h"
+#include "engine/observer.h"
+#include "engine/protocol.h"
+#include "engine/session_table.h"
 #include "graph/dynamic_graph.h"
 #include "net/network.h"
 #include "storage/versioned_store.h"
@@ -24,127 +17,51 @@ namespace tornado {
 
 /// A worker node of the simulated Tornado cluster.
 ///
-/// Implements the session layer of Section 5.1: it manages the vertices of
-/// its partition, runs the three-phase update protocol of Section 4.2 for
-/// every loop the vertex participates in, enforces the delay bound of
-/// Section 4.4, materializes committed versions in the (shared, external)
-/// versioned store, and periodically reports per-iteration progress to the
-/// master — flushing dirty versions first, which is what makes terminated
-/// iterations recoverable checkpoints (Section 5.3).
+/// Thin transport adapter over the engine layer (Section 5.1): the
+/// SessionTable owns this partition's per-(loop, vertex) sessions, the
+/// ProtocolStateMachine runs the three-phase update protocol, and the
+/// ConsistencyPolicy decides how far asynchrony may run ahead. This class
+/// only binds them to the event loop — it routes delivered messages into
+/// the state machine, transmits the actions it returns (resolving vertex
+/// ids to owning nodes), charges the accumulated virtual CPU cost, and
+/// drives the periodic progress-report timer.
 class Processor : public Node {
  public:
   Processor(uint32_t index, const JobConfig* config, VersionedStore* store,
             HashPartitioner partitioner, NodeId master_node,
-            NodeId first_processor_node);
+            NodeId first_processor_node,
+            EngineObserver* observer = nullptr);
 
   void OnMessage(NodeId src, const Payload& msg) override;
   void OnRestart() override;
 
   /// Logs the protocol state of every session (debugging aid for tests).
-  void DumpState() const;
+  void DumpState() const { machine_.DumpState(); }
 
   /// Begins the periodic progress-report timer. Called once by the cluster.
   void Start();
 
   uint32_t index() const { return index_; }
+  ProtocolStateMachine& engine() { return machine_; }
+  const SessionTable& sessions() const { return sessions_; }
 
  private:
-  friend class ProcessorContext;
+  /// Transmits the queued messages (in order) and charges the cost.
+  void Execute(EngineActions& actions);
 
-  // ---- Per-vertex protocol state (one session per loop the vertex is in).
-  struct VertexSession {
-    VertexId id = 0;
-    std::unique_ptr<VertexState> state;
-    std::vector<VertexId> targets;
-    std::vector<VertexId> retiring;  // removed since last commit
-    Iteration iter = 0;              // protocol iteration number
-    Iteration last_commit = kNoIteration;
-    std::optional<LamportTime> update_time;  // set while preparing
-    std::set<VertexId> prepare_list;         // producers preparing us
-    std::set<VertexId> waiting_list;         // consumers we await acks from
-    std::vector<std::pair<VertexId, LamportTime>> pending_list;
-    bool dirty = false;
-    std::deque<Delta> pending_inputs;  // inputs deferred during preparation
-    Iteration merge_floor = 0;         // updates below this are stale
-    Rng rng{0};
-  };
-
-  struct BlockedUpdate {
-    VertexId src = 0;
-    VertexId dst = 0;
-    Iteration iteration = 0;
-    VertexUpdate update;
-  };
-
-  struct LoopRuntime {
-    LoopId loop = 0;
-    LoopEpoch epoch = 0;
-    Iteration tau = 0;  // first not-yet-terminated iteration
-    std::unordered_map<VertexId, VertexSession> vertices;
-    std::map<Iteration, std::vector<BlockedUpdate>> blocked;
-    std::map<Iteration, IterationCounters> buckets;
-    std::map<Iteration, double> progress;  // per-iteration progress metric
-    std::unordered_set<VertexId> stalled;  // dirty but held by the bound
-    uint64_t inputs_gathered = 0;
-    uint64_t prepares_sent = 0;
-    uint64_t blocked_count = 0;
-    uint64_t report_seq = 0;
-    uint64_t writes_since_flush = 0;
-  };
-
-  // Message handlers.
-  void HandleInput(const InputMsg& msg);
-  void HandleUpdate(const UpdateMsg& msg);
-  void HandlePrepare(const PrepareMsg& msg);
-  void HandleAck(const AckMsg& msg);
-  void HandleTerminated(const TerminatedMsg& msg);
-  void HandleForkBranch(const ForkBranchMsg& msg);
-  void HandleRestartLoop(const RestartLoopMsg& msg);
-  void HandleStopLoop(const StopLoopMsg& msg);
-  void HandleAdoptMerge(const AdoptMergeMsg& msg);
-
-  // Protocol steps.
-  void GatherInput(LoopRuntime& rt, VertexSession& s, const Delta& delta);
-  void GatherUpdate(LoopRuntime& rt, VertexSession& s, VertexId source,
-                    Iteration iteration, const VertexUpdate& update);
-  void MaybePrepare(LoopRuntime& rt, VertexSession& s);
-  void Commit(LoopRuntime& rt, VertexSession& s, Iteration iteration);
-  void ReleaseBlocked(LoopRuntime& rt);
-  void RetryStalled(LoopRuntime& rt);
-
-  // Messages for a loop/epoch this processor has not created yet (the
-  // fork/restart broadcast may still be in flight) are parked and replayed
-  // once the loop materializes.
-  void MaybeOrphan(LoopId loop, LoopEpoch epoch, PayloadPtr msg);
-  void ReplayOrphans(LoopId loop, LoopEpoch epoch);
-
-  // Helpers.
-  LoopRuntime* FindLoop(LoopId loop, LoopEpoch epoch);
-  VertexSession& GetOrCreateVertex(LoopRuntime& rt, VertexId id);
-  bool LoadVertexFromStore(LoopRuntime& rt, VertexId id, Iteration at,
-                           VertexSession* out);
-  void PersistVertex(LoopRuntime& rt, VertexSession& s, Iteration iteration);
-  Iteration MinCommitIteration(const LoopRuntime& rt,
-                               const VertexSession& s) const;
-  Iteration BoundIteration(const LoopRuntime& rt) const {
-    return rt.tau + config_->delay_bound - 1;
-  }
   NodeId NodeOfVertex(VertexId v) const {
     return first_processor_node_ + partitioner_.PartitionOf(v);
   }
   void SendProgressReports();
-  void ReportLoop(LoopRuntime& rt);
 
   uint32_t index_;
   const JobConfig* config_;
-  VersionedStore* store_;
   HashPartitioner partitioner_;
   NodeId master_node_;
   NodeId first_processor_node_;
-  LamportClock clock_;
-  Rng rng_;
-  std::unordered_map<LoopId, LoopRuntime> loops_;
-  std::map<std::pair<LoopId, LoopEpoch>, std::vector<PayloadPtr>> orphans_;
+  std::unique_ptr<ConsistencyPolicy> policy_;
+  SessionTable sessions_;
+  ProtocolStateMachine machine_;
   bool started_ = false;
   bool announce_restart_ = false;
 };

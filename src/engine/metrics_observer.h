@@ -1,0 +1,49 @@
+#ifndef TORNADO_ENGINE_METRICS_OBSERVER_H_
+#define TORNADO_ENGINE_METRICS_OBSERVER_H_
+
+#include <cstdint>
+
+#include "common/metrics.h"
+#include "engine/observer.h"
+
+namespace tornado {
+
+/// Bridges engine events into the MetricRegistry. Counter names are
+/// interned once at construction; every event is a direct int64 bump with
+/// no string hashing or map lookup on the hot path. The registry must
+/// outlive this observer.
+class MetricsEngineObserver final : public EngineObserver {
+ public:
+  explicit MetricsEngineObserver(MetricRegistry* metrics)
+      : inputs_gathered_(metrics->CounterHandle(metric::kInputsGathered)),
+        prepares_sent_(metrics->CounterHandle(metric::kPreparesSent)),
+        acks_sent_(metrics->CounterHandle(metric::kAcksSent)),
+        updates_committed_(metrics->CounterHandle(metric::kUpdatesCommitted)),
+        updates_blocked_(metrics->CounterHandle(metric::kUpdatesBlocked)),
+        versions_flushed_(metrics->CounterHandle(metric::kVersionsFlushed)) {}
+
+  void OnInputGathered(LoopId) override { ++inputs_gathered_; }
+  void OnPrepare(LoopId, VertexId, uint64_t fanout) override {
+    prepares_sent_ += static_cast<int64_t>(fanout);
+  }
+  void OnAck(LoopId, VertexId) override { ++acks_sent_; }
+  void OnCommit(LoopId, VertexId, Iteration) override {
+    ++updates_committed_;
+  }
+  void OnBlock(LoopId, VertexId, Iteration) override { ++updates_blocked_; }
+  void OnFlush(LoopId, uint64_t versions) override {
+    versions_flushed_ += static_cast<int64_t>(versions);
+  }
+
+ private:
+  int64_t& inputs_gathered_;
+  int64_t& prepares_sent_;
+  int64_t& acks_sent_;
+  int64_t& updates_committed_;
+  int64_t& updates_blocked_;
+  int64_t& versions_flushed_;
+};
+
+}  // namespace tornado
+
+#endif  // TORNADO_ENGINE_METRICS_OBSERVER_H_

@@ -1,0 +1,77 @@
+#ifndef TORNADO_ENGINE_OBSERVER_H_
+#define TORNADO_ENGINE_OBSERVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace tornado {
+
+/// Hook interface over protocol events. The ProtocolStateMachine invokes
+/// these synchronously as it processes messages; subscribers (the metric
+/// registry, debug tooling, benches) observe engine activity without the
+/// engine hard-coding any accounting. Implementations must not call back
+/// into the engine.
+class EngineObserver {
+ public:
+  virtual ~EngineObserver() = default;
+
+  /// One external input delta was gathered by a main-loop vertex.
+  virtual void OnInputGathered(LoopId /*loop*/) {}
+
+  /// A vertex started a prepare round, fanning PREPAREs out to `fanout`
+  /// consumers (Section 4.2's second phase).
+  virtual void OnPrepare(LoopId /*loop*/, VertexId /*vertex*/,
+                         uint64_t /*fanout*/) {}
+
+  /// One ACK was sent (immediately or deferred-then-released).
+  virtual void OnAck(LoopId /*loop*/, VertexId /*vertex*/) {}
+
+  /// A vertex committed its update at `iteration` (third phase).
+  virtual void OnCommit(LoopId /*loop*/, VertexId /*vertex*/,
+                        Iteration /*iteration*/) {}
+
+  /// An arriving update was buffered at the delay bound (Section 4.4).
+  virtual void OnBlock(LoopId /*loop*/, VertexId /*vertex*/,
+                       Iteration /*iteration*/) {}
+
+  /// `versions` dirty store versions were flushed before a progress
+  /// report (Section 5.3's checkpoint rule).
+  virtual void OnFlush(LoopId /*loop*/, uint64_t /*versions*/) {}
+};
+
+/// Fans every event out to a dynamic list of subscribers. Subscribers must
+/// outlive the list; registration order is notification order.
+class EngineObserverList final : public EngineObserver {
+ public:
+  void Add(EngineObserver* observer) {
+    if (observer != nullptr) observers_.push_back(observer);
+  }
+
+  void OnInputGathered(LoopId loop) override {
+    for (EngineObserver* o : observers_) o->OnInputGathered(loop);
+  }
+  void OnPrepare(LoopId loop, VertexId vertex, uint64_t fanout) override {
+    for (EngineObserver* o : observers_) o->OnPrepare(loop, vertex, fanout);
+  }
+  void OnAck(LoopId loop, VertexId vertex) override {
+    for (EngineObserver* o : observers_) o->OnAck(loop, vertex);
+  }
+  void OnCommit(LoopId loop, VertexId vertex, Iteration iteration) override {
+    for (EngineObserver* o : observers_) o->OnCommit(loop, vertex, iteration);
+  }
+  void OnBlock(LoopId loop, VertexId vertex, Iteration iteration) override {
+    for (EngineObserver* o : observers_) o->OnBlock(loop, vertex, iteration);
+  }
+  void OnFlush(LoopId loop, uint64_t versions) override {
+    for (EngineObserver* o : observers_) o->OnFlush(loop, versions);
+  }
+
+ private:
+  std::vector<EngineObserver*> observers_;
+};
+
+}  // namespace tornado
+
+#endif  // TORNADO_ENGINE_OBSERVER_H_

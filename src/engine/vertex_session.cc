@@ -1,0 +1,33 @@
+#include "engine/vertex_session.h"
+
+#include <algorithm>
+
+namespace tornado {
+
+void VertexSession::AddTarget(VertexId t) {
+  if (!target_set_.insert(t).second) return;
+  targets_.push_back(t);
+  // Re-adding a target cancels its retirement.
+  if (retiring_set_.erase(t) > 0) {
+    retiring_.erase(std::find(retiring_.begin(), retiring_.end(), t));
+  }
+}
+
+void VertexSession::RemoveTarget(VertexId t) {
+  if (target_set_.erase(t) == 0) return;
+  targets_.erase(std::find(targets_.begin(), targets_.end(), t));
+  if (retiring_set_.insert(t).second) retiring_.push_back(t);
+}
+
+void VertexSession::SetTargets(std::vector<VertexId> targets) {
+  targets_ = std::move(targets);
+  target_set_.clear();
+  target_set_.insert(targets_.begin(), targets_.end());
+}
+
+void VertexSession::ClearRetiring() {
+  retiring_.clear();
+  retiring_set_.clear();
+}
+
+}  // namespace tornado

@@ -1,9 +1,25 @@
 #include <cstdio>
+#include <map>
 #include <memory>
 #include "common/logging.h"
 #include "bench/bench_util.h"
+#include "engine/observer.h"
 #include "stream/instance_stream.h"
 using namespace tornado; using namespace tornado::bench;
+
+// Per-loop event tallies collected straight off the engine's observer hooks
+// (no metric-registry polling): shows where prepare/commit/block activity
+// concentrates, which the aggregated registry counters cannot.
+struct ProbeObserver : EngineObserver {
+  struct Tally { uint64_t prepares = 0, acks = 0, commits = 0, blocks = 0, flushes = 0; };
+  std::map<LoopId, Tally> per_loop;
+  void OnPrepare(LoopId l, VertexId, uint64_t fanout) override { per_loop[l].prepares += fanout; }
+  void OnAck(LoopId l, VertexId) override { per_loop[l].acks++; }
+  void OnCommit(LoopId l, VertexId, Iteration) override { per_loop[l].commits++; }
+  void OnBlock(LoopId l, VertexId, Iteration) override { per_loop[l].blocks++; }
+  void OnFlush(LoopId l, uint64_t versions) override { per_loop[l].flushes += versions; }
+};
+
 int main() {
   SetLogLevel(LogLevel::kWarning);
   JobConfig config = SgdJob(SgdLoss::kSvmHinge, 64, 0.1, DescentSchedule::kStatic, false, 0.02);
@@ -12,6 +28,8 @@ int main() {
   config.program = std::make_shared<SgdProgram>(sgd);
   config.ingest_rate = 8000;
   TornadoCluster cluster(config, std::make_unique<InstanceStream>(BenchDense(30000)));
+  ProbeObserver probe;
+  cluster.AddEngineObserver(&probe);
   cluster.Start();
   cluster.RunUntil([&]{ return cluster.loop().now() >= 1.0; }, 100);
   uint64_t q = cluster.ingester().SubmitQuery();
@@ -23,5 +41,10 @@ int main() {
   auto st = cluster.master().StatsOf(b);
   for (auto& s2 : st) printf("  it %llu committed=%llu progress=%.6f\n",
     (unsigned long long)s2.iteration, (unsigned long long)s2.committed, s2.progress);
+  printf("engine events by loop (observer-driven):\n");
+  for (auto& [loop, t] : probe.per_loop)
+    printf("  loop %llu: commits=%llu prepares=%llu acks=%llu blocked=%llu flushed=%llu\n",
+      (unsigned long long)loop, (unsigned long long)t.commits, (unsigned long long)t.prepares,
+      (unsigned long long)t.acks, (unsigned long long)t.blocks, (unsigned long long)t.flushes);
   return 0;
 }
