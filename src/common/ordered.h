@@ -1,0 +1,50 @@
+#ifndef TORNADO_COMMON_ORDERED_H_
+#define TORNADO_COMMON_ORDERED_H_
+
+#include <algorithm>
+#include <vector>
+
+namespace tornado {
+
+/// Deterministic-iteration helpers over unordered associative containers.
+///
+/// Iterating an `std::unordered_map` / `std::unordered_set` yields elements
+/// in hash-table order, which depends on insertion history and rehash
+/// timing. Any such iteration whose side effects are externally observable
+/// (messages sent, payloads built, debug output) silently breaks the
+/// bit-for-bit reproducibility the simulated cluster guarantees
+/// (tornado-lint rule DET-003). These helpers materialize the key set,
+/// sort it, and walk the container in key order instead. The extra
+/// O(n log n) is only paid where ordering is load-bearing; order-insensitive
+/// aggregations (sums, minima) should keep the raw iteration and carry a
+/// `// NOLINT(DET-003)` annotation explaining why.
+
+/// All keys of `container` (any map- or set-like type), sorted ascending.
+template <typename Container>
+auto SortedKeys(const Container& container) {
+  std::vector<typename Container::key_type> keys;
+  keys.reserve(container.size());
+  for (const auto& entry : container) {
+    if constexpr (requires { entry.first; }) {
+      keys.push_back(entry.first);
+    } else {
+      keys.push_back(entry);
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+/// Invokes `fn(key, mapped)` for every entry of a map-like container in
+/// ascending key order. The container must not be mutated during the walk
+/// (the key snapshot would go stale).
+template <typename Map, typename Fn>
+void ForEachOrdered(Map& map, Fn&& fn) {
+  for (const auto& key : SortedKeys(map)) {
+    fn(key, map.at(key));
+  }
+}
+
+}  // namespace tornado
+
+#endif  // TORNADO_COMMON_ORDERED_H_

@@ -25,6 +25,14 @@ TornadoCluster::TornadoCluster(JobConfig config,
       std::make_unique<MetricsEngineObserver>(&network_->metrics());
   engine_observers_.Add(metrics_observer_.get());
 
+#ifdef TORNADO_CHECK
+  // Checked builds shadow the protocol with the invariant checker; any
+  // violation aborts the process with a structured dump (docs/CHECKS.md).
+  check_observer_ = std::make_unique<CheckObserver>(
+      CheckObserver::Options{/*abort_on_violation=*/true, &store_});
+  engine_observers_.Add(check_observer_.get());
+#endif
+
   const HashPartitioner partitioner(config_.num_processors);
   const NodeId master_id = config_.num_processors;
 
@@ -53,6 +61,13 @@ TornadoCluster::TornadoCluster(JobConfig config,
 }
 
 TornadoCluster::~TornadoCluster() = default;
+
+void TornadoCluster::DeepCheckInvariants() {
+  if (check_observer_ == nullptr) return;
+  for (auto& proc : processors_) {
+    check_observer_->DeepCheck(proc->sessions());
+  }
+}
 
 void TornadoCluster::Start() {
   for (auto& proc : processors_) proc->Start();

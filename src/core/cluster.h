@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "check/invariant_checker.h"
 #include "core/config.h"
 #include "core/ingester.h"
 #include "core/master.h"
@@ -100,6 +101,15 @@ class TornadoCluster {
     engine_observers_.Add(observer);
   }
 
+  /// The auto-attached invariant checker (nullptr unless the build has
+  /// -DTORNADO_CHECK=ON).
+  CheckObserver* check_observer() { return check_observer_.get(); }
+
+  /// Runs the checker's structural pass over every processor's sessions.
+  /// No-op when no checker is attached. Call between dispatches only
+  /// (e.g. after RunUntil returns).
+  void DeepCheckInvariants();
+
  private:
   JobConfig config_;
   EventLoop loop_;
@@ -107,6 +117,7 @@ class TornadoCluster {
   VersionedStore store_;
   EngineObserverList engine_observers_;
   std::unique_ptr<MetricsEngineObserver> metrics_observer_;
+  std::unique_ptr<CheckObserver> check_observer_;
   std::vector<std::unique_ptr<Processor>> processors_;
   std::unique_ptr<Master> master_;
   std::unique_ptr<Ingester> ingester_;

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/ordered.h"
 #include "common/serde.h"
 
 namespace tornado {
@@ -44,15 +45,16 @@ void Master::OnRestart() {
     loops_.emplace(kMainLoop, std::move(main));
   }
   // Re-announce terminated iterations (processors may have missed the
-  // notification) and solicit fresh progress reports.
-  for (auto& [id, lc] : loops_) {
-    if (lc.converged || lc.last_terminated == kNoIteration) continue;
+  // notification) and solicit fresh progress reports. Announcement order
+  // feeds the network (DET-003).
+  ForEachOrdered(loops_, [&](LoopId, LoopControl& lc) {
+    if (lc.converged || lc.last_terminated == kNoIteration) return;
     auto term = std::make_shared<TerminatedMsg>();
     term->loop = lc.loop;
     term->epoch = lc.epoch;
     term->upto = lc.last_terminated;
     Broadcast(std::move(term));
-  }
+  });
   Broadcast(std::make_shared<MasterHelloMsg>());
 }
 
@@ -89,8 +91,10 @@ void Master::HandleHello(const ProcessorHelloMsg& msg) {
 }
 
 void Master::RecoverAfterProcessorFailure() {
-  for (auto& [id, lc] : loops_) {
-    if (lc.converged) continue;
+  // Rollback order decides the order RestartLoopMsgs hit the wire
+  // (DET-003), so walk the loops by id.
+  ForEachOrdered(loops_, [&](LoopId, LoopControl& lc) {
+    if (lc.converged) return;
     lc.epoch++;
     lc.latest.assign(config_->num_processors, std::nullopt);
     lc.has_fingerprint = false;
@@ -127,7 +131,7 @@ void Master::RecoverAfterProcessorFailure() {
                          ? -1
                          : static_cast<int64_t>(lc.last_terminated))
               << " (epoch " << lc.epoch << ")";
-  }
+  });
   PersistJournal();
 }
 
@@ -409,6 +413,7 @@ void Master::MergeBranch(LoopControl& branch) {
 
 uint32_t Master::RunningBranches() const {
   uint32_t running = 0;
+  // NOLINTNEXTLINE(DET-003): counting is order-insensitive.
   for (const auto& [id, lc] : loops_) {
     if (lc.is_branch && !lc.converged) ++running;
   }
@@ -490,7 +495,8 @@ void Master::ForkBranchFor(uint64_t query_id, double submit_time) {
 void Master::PersistJournal() {
   BufferWriter w;
   w.PutU32(static_cast<uint32_t>(loops_.size()));
-  for (const auto& [id, lc] : loops_) {
+  // Journal bytes land in the store; keep them replay-identical (DET-003).
+  ForEachOrdered(loops_, [&](LoopId, const LoopControl& lc) {
     w.PutU32(lc.loop);
     w.PutU32(lc.epoch);
     w.PutU8(lc.is_branch ? 1 : 0);
@@ -500,7 +506,7 @@ void Master::PersistJournal() {
     w.PutU64(lc.inputs_at_fork);
     w.PutU64(lc.last_terminated);
     w.PutU8(lc.converged ? 1 : 0);
-  }
+  });
   w.PutU32(static_cast<uint32_t>(queries_.size()));
   for (const QueryRecord& q : queries_) {
     w.PutU64(q.query_id);

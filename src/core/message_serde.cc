@@ -1,0 +1,402 @@
+#include "core/message_serde.h"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <typeindex>
+#include <utility>
+
+#include "core/messages.h"
+
+namespace tornado {
+namespace {
+
+// --- Field encoders shared by several messages. ---
+
+void WriteLamport(const LamportTime& t, BufferWriter* w) {
+  w->PutU64(t.time);
+  w->PutU32(t.node);
+}
+
+Status ReadLamport(BufferReader* r, LamportTime* t) {
+  if (Status s = r->GetU64(&t->time); !s.ok()) return s;
+  return r->GetU32(&t->node);
+}
+
+void WriteUpdate(const VertexUpdate& u, BufferWriter* w) {
+  w->PutI64(u.kind);
+  w->PutDoubleVec(u.values);
+}
+
+Status ReadUpdate(BufferReader* r, VertexUpdate* u) {
+  int64_t kind = 0;
+  if (Status s = r->GetI64(&kind); !s.ok()) return s;
+  u->kind = static_cast<int>(kind);
+  return r->GetDoubleVec(&u->values);
+}
+
+void WriteDelta(const Delta& delta, BufferWriter* w) {
+  w->PutU8(static_cast<uint8_t>(delta.index()));
+  if (const auto* e = std::get_if<EdgeDelta>(&delta)) {
+    w->PutU64(e->src);
+    w->PutU64(e->dst);
+    w->PutDouble(e->weight);
+    w->PutU8(e->insert ? 1 : 0);
+  } else if (const auto* p = std::get_if<PointDelta>(&delta)) {
+    w->PutU64(p->id);
+    w->PutDoubleVec(p->coords);
+    w->PutU8(p->insert ? 1 : 0);
+  } else if (const auto* ins = std::get_if<InstanceDelta>(&delta)) {
+    w->PutU64(ins->id);
+    w->PutVarint(ins->features.size());
+    for (const auto& [index, value] : ins->features) {
+      w->PutU32(index);
+      w->PutDouble(value);
+    }
+    w->PutDouble(ins->label);
+    w->PutU8(ins->insert ? 1 : 0);
+  }
+}
+
+Status ReadDelta(BufferReader* r, Delta* delta) {
+  uint8_t alt = 0;
+  uint8_t flag = 0;
+  if (Status s = r->GetU8(&alt); !s.ok()) return s;
+  switch (alt) {
+    case 0: {
+      EdgeDelta e;
+      r->GetU64(&e.src);
+      r->GetU64(&e.dst);
+      r->GetDouble(&e.weight);
+      if (Status s = r->GetU8(&flag); !s.ok()) return s;
+      e.insert = flag != 0;
+      *delta = e;
+      return Status::Ok();
+    }
+    case 1: {
+      PointDelta p;
+      r->GetU64(&p.id);
+      r->GetDoubleVec(&p.coords);
+      if (Status s = r->GetU8(&flag); !s.ok()) return s;
+      p.insert = flag != 0;
+      *delta = p;
+      return Status::Ok();
+    }
+    case 2: {
+      InstanceDelta ins;
+      uint64_t count = 0;
+      r->GetU64(&ins.id);
+      if (Status s = r->GetVarint(&count); !s.ok()) return s;
+      ins.features.reserve(count);
+      for (uint64_t i = 0; i < count; ++i) {
+        uint32_t index = 0;
+        double value = 0.0;
+        r->GetU32(&index);
+        if (Status s = r->GetDouble(&value); !s.ok()) return s;
+        ins.features.emplace_back(index, value);
+      }
+      r->GetDouble(&ins.label);
+      if (Status s = r->GetU8(&flag); !s.ok()) return s;
+      ins.insert = flag != 0;
+      *delta = std::move(ins);
+      return Status::Ok();
+    }
+    default:
+      return Status::InvalidArgument("unknown Delta alternative");
+  }
+}
+
+void WriteCounters(const IterationCounters& c, BufferWriter* w) {
+  w->PutU64(c.committed);
+  w->PutU64(c.sent);
+  w->PutU64(c.owned);
+  w->PutU64(c.gathered);
+  w->PutDouble(c.progress);
+}
+
+Status ReadCounters(BufferReader* r, IterationCounters* c) {
+  r->GetU64(&c->committed);
+  r->GetU64(&c->sent);
+  r->GetU64(&c->owned);
+  r->GetU64(&c->gathered);
+  return r->GetDouble(&c->progress);
+}
+
+// --- Per-message bodies (tag is written by the dispatcher). ---
+
+void WriteBody(const InputMsg& m, BufferWriter* w) {
+  w->PutU32(m.loop);
+  w->PutU32(m.epoch);
+  w->PutU64(m.target);
+  WriteDelta(m.delta, w);
+}
+Status ReadBody(BufferReader* r, InputMsg* m) {
+  r->GetU32(&m->loop);
+  r->GetU32(&m->epoch);
+  r->GetU64(&m->target);
+  return ReadDelta(r, &m->delta);
+}
+
+void WriteBody(const UpdateMsg& m, BufferWriter* w) {
+  w->PutU32(m.loop);
+  w->PutU32(m.epoch);
+  w->PutU64(m.src_vertex);
+  w->PutU64(m.dst_vertex);
+  w->PutU64(m.iteration);
+  WriteUpdate(m.update, w);
+}
+Status ReadBody(BufferReader* r, UpdateMsg* m) {
+  r->GetU32(&m->loop);
+  r->GetU32(&m->epoch);
+  r->GetU64(&m->src_vertex);
+  r->GetU64(&m->dst_vertex);
+  r->GetU64(&m->iteration);
+  return ReadUpdate(r, &m->update);
+}
+
+void WriteBody(const PrepareMsg& m, BufferWriter* w) {
+  w->PutU32(m.loop);
+  w->PutU32(m.epoch);
+  w->PutU64(m.src_vertex);
+  w->PutU64(m.dst_vertex);
+  WriteLamport(m.time, w);
+}
+Status ReadBody(BufferReader* r, PrepareMsg* m) {
+  r->GetU32(&m->loop);
+  r->GetU32(&m->epoch);
+  r->GetU64(&m->src_vertex);
+  r->GetU64(&m->dst_vertex);
+  return ReadLamport(r, &m->time);
+}
+
+void WriteBody(const AckMsg& m, BufferWriter* w) {
+  w->PutU32(m.loop);
+  w->PutU32(m.epoch);
+  w->PutU64(m.src_vertex);
+  w->PutU64(m.dst_vertex);
+  w->PutU64(m.iteration);
+}
+Status ReadBody(BufferReader* r, AckMsg* m) {
+  r->GetU32(&m->loop);
+  r->GetU32(&m->epoch);
+  r->GetU64(&m->src_vertex);
+  r->GetU64(&m->dst_vertex);
+  return r->GetU64(&m->iteration);
+}
+
+void WriteBody(const ProgressMsg& m, BufferWriter* w) {
+  w->PutU32(m.loop);
+  w->PutU32(m.epoch);
+  w->PutU32(m.processor);
+  w->PutU64(m.local_tau);
+  w->PutU64(m.min_work_iter);
+  w->PutU64(m.blocked_updates);
+  w->PutU64(m.inputs_gathered);
+  w->PutU64(m.prepares_sent);
+  w->PutDouble(m.progress_sum);
+  w->PutU64(m.report_seq);
+  w->PutVarint(m.buckets.size());
+  for (const auto& [iteration, counters] : m.buckets) {  // std::map: ordered
+    w->PutU64(iteration);
+    WriteCounters(counters, w);
+  }
+}
+Status ReadBody(BufferReader* r, ProgressMsg* m) {
+  r->GetU32(&m->loop);
+  r->GetU32(&m->epoch);
+  r->GetU32(&m->processor);
+  r->GetU64(&m->local_tau);
+  r->GetU64(&m->min_work_iter);
+  r->GetU64(&m->blocked_updates);
+  r->GetU64(&m->inputs_gathered);
+  r->GetU64(&m->prepares_sent);
+  r->GetDouble(&m->progress_sum);
+  r->GetU64(&m->report_seq);
+  uint64_t count = 0;
+  if (Status s = r->GetVarint(&count); !s.ok()) return s;
+  for (uint64_t i = 0; i < count; ++i) {
+    Iteration iteration = 0;
+    r->GetU64(&iteration);
+    if (Status s = ReadCounters(r, &m->buckets[iteration]); !s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+void WriteBody(const TerminatedMsg& m, BufferWriter* w) {
+  w->PutU32(m.loop);
+  w->PutU32(m.epoch);
+  w->PutU64(m.upto);
+}
+Status ReadBody(BufferReader* r, TerminatedMsg* m) {
+  r->GetU32(&m->loop);
+  r->GetU32(&m->epoch);
+  return r->GetU64(&m->upto);
+}
+
+void WriteBody(const ForkBranchMsg& m, BufferWriter* w) {
+  w->PutU32(m.branch);
+  w->PutU32(m.parent);
+  w->PutU32(m.epoch);
+  w->PutU64(m.snapshot_iteration);
+  w->PutU64(m.query_id);
+}
+Status ReadBody(BufferReader* r, ForkBranchMsg* m) {
+  r->GetU32(&m->branch);
+  r->GetU32(&m->parent);
+  r->GetU32(&m->epoch);
+  r->GetU64(&m->snapshot_iteration);
+  return r->GetU64(&m->query_id);
+}
+
+void WriteBody(const StopLoopMsg& m, BufferWriter* w) { w->PutU32(m.loop); }
+Status ReadBody(BufferReader* r, StopLoopMsg* m) {
+  return r->GetU32(&m->loop);
+}
+
+void WriteBody(const RestartLoopMsg& m, BufferWriter* w) {
+  w->PutU32(m.loop);
+  w->PutU32(m.new_epoch);
+  w->PutU64(m.from_iteration);
+}
+Status ReadBody(BufferReader* r, RestartLoopMsg* m) {
+  r->GetU32(&m->loop);
+  r->GetU32(&m->new_epoch);
+  return r->GetU64(&m->from_iteration);
+}
+
+void WriteBody(const AdoptMergeMsg& m, BufferWriter* w) {
+  w->PutU32(m.loop);
+  w->PutU32(m.epoch);
+  w->PutU64(m.merge_iteration);
+}
+Status ReadBody(BufferReader* r, AdoptMergeMsg* m) {
+  r->GetU32(&m->loop);
+  r->GetU32(&m->epoch);
+  return r->GetU64(&m->merge_iteration);
+}
+
+void WriteBody(const ProcessorHelloMsg& m, BufferWriter* w) {
+  w->PutU32(m.processor);
+  w->PutU8(m.restarted ? 1 : 0);
+}
+Status ReadBody(BufferReader* r, ProcessorHelloMsg* m) {
+  r->GetU32(&m->processor);
+  uint8_t flag = 0;
+  if (Status s = r->GetU8(&flag); !s.ok()) return s;
+  m->restarted = flag != 0;
+  return Status::Ok();
+}
+
+void WriteBody(const MasterHelloMsg&, BufferWriter*) {}
+Status ReadBody(BufferReader*, MasterHelloMsg*) { return Status::Ok(); }
+
+void WriteBody(const QueryMsg& m, BufferWriter* w) {
+  w->PutU64(m.query_id);
+  w->PutDouble(m.submit_time);
+}
+Status ReadBody(BufferReader* r, QueryMsg* m) {
+  r->GetU64(&m->query_id);
+  return r->GetDouble(&m->submit_time);
+}
+
+void WriteBody(const QueryResultMsg& m, BufferWriter* w) {
+  w->PutU64(m.query_id);
+  w->PutU32(m.branch);
+  w->PutU64(m.converged_iteration);
+  w->PutDouble(m.submit_time);
+}
+Status ReadBody(BufferReader* r, QueryResultMsg* m) {
+  r->GetU64(&m->query_id);
+  r->GetU32(&m->branch);
+  r->GetU64(&m->converged_iteration);
+  return r->GetDouble(&m->submit_time);
+}
+
+// --- Registry: the manifest SER-001 checks messages.h against. ---
+
+struct Entry {
+  const char* name;
+  std::function<void(const Payload&, BufferWriter*)> serialize;
+  std::function<std::shared_ptr<Payload>(BufferReader*)> deserialize;
+};
+
+struct Registry {
+  std::vector<Entry> entries;                    // index == wire tag
+  std::map<std::type_index, uint8_t> by_type;
+
+  template <typename T>
+  void Add(const char* name) {
+    const auto tag = static_cast<uint8_t>(entries.size());
+    entries.push_back(Entry{
+        name,
+        [](const Payload& p, BufferWriter* w) {
+          WriteBody(static_cast<const T&>(p), w);
+        },
+        [](BufferReader* r) -> std::shared_ptr<Payload> {
+          auto m = std::make_shared<T>();
+          if (!ReadBody(r, m.get()).ok()) return nullptr;
+          return m;
+        }});
+    by_type.emplace(std::type_index(typeid(T)), tag);
+  }
+};
+
+// Registration order fixes the wire tags; append only.
+#define TORNADO_MESSAGE_SERDE(TYPE) reg.Add<TYPE>(#TYPE)
+
+const Registry& GetRegistry() {
+  static const Registry registry = [] {
+    Registry reg;
+    TORNADO_MESSAGE_SERDE(InputMsg);
+    TORNADO_MESSAGE_SERDE(UpdateMsg);
+    TORNADO_MESSAGE_SERDE(PrepareMsg);
+    TORNADO_MESSAGE_SERDE(AckMsg);
+    TORNADO_MESSAGE_SERDE(ProgressMsg);
+    TORNADO_MESSAGE_SERDE(TerminatedMsg);
+    TORNADO_MESSAGE_SERDE(ForkBranchMsg);
+    TORNADO_MESSAGE_SERDE(StopLoopMsg);
+    TORNADO_MESSAGE_SERDE(RestartLoopMsg);
+    TORNADO_MESSAGE_SERDE(AdoptMergeMsg);
+    TORNADO_MESSAGE_SERDE(ProcessorHelloMsg);
+    TORNADO_MESSAGE_SERDE(MasterHelloMsg);
+    TORNADO_MESSAGE_SERDE(QueryMsg);
+    TORNADO_MESSAGE_SERDE(QueryResultMsg);
+    return reg;
+  }();
+  return registry;
+}
+
+#undef TORNADO_MESSAGE_SERDE
+
+}  // namespace
+
+bool SerializeMessage(const Payload& msg, BufferWriter* writer) {
+  const Registry& reg = GetRegistry();
+  auto it = reg.by_type.find(std::type_index(typeid(msg)));
+  if (it == reg.by_type.end()) return false;
+  writer->PutU8(it->second);
+  reg.entries[it->second].serialize(msg, writer);
+  return true;
+}
+
+std::shared_ptr<Payload> DeserializeMessage(BufferReader* reader) {
+  uint8_t tag = 0;
+  if (!reader->GetU8(&tag).ok()) return nullptr;
+  const Registry& reg = GetRegistry();
+  if (tag >= reg.entries.size()) return nullptr;
+  return reg.entries[tag].deserialize(reader);
+}
+
+bool IsRegisteredMessage(const Payload& msg) {
+  const Registry& reg = GetRegistry();
+  return reg.by_type.count(std::type_index(typeid(msg))) > 0;
+}
+
+std::vector<std::string> RegisteredMessageNames() {
+  std::vector<std::string> names;
+  for (const Entry& e : GetRegistry().entries) names.emplace_back(e.name);
+  return names;
+}
+
+}  // namespace tornado

@@ -1,0 +1,38 @@
+#ifndef TORNADO_CORE_MESSAGE_SERDE_H_
+#define TORNADO_CORE_MESSAGE_SERDE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/serde.h"
+#include "net/payload.h"
+
+namespace tornado {
+
+/// Wire format for the protocol messages of core/messages.h: a one-byte
+/// type tag followed by the fixed field encoding of the concrete struct.
+///
+/// The simulated network hands payloads around as shared_ptrs and never
+/// needs bytes, so this layer is not on the message hot path; it exists so
+/// that every message CAN round-trip — checkpoint tooling, trace capture,
+/// and a future real transport all need it, and the SER-001 lint rule
+/// holds the registry in core/message_serde.cc complete (every struct
+/// deriving from Payload in core/messages.h must appear in it).
+
+/// Serializes `msg` (tag + body). Returns false when the concrete type is
+/// not registered.
+bool SerializeMessage(const Payload& msg, BufferWriter* writer);
+
+/// Decodes one message; nullptr on unknown tag or truncated body.
+std::shared_ptr<Payload> DeserializeMessage(BufferReader* reader);
+
+/// True when `msg`'s concrete type is registered for round-tripping.
+bool IsRegisteredMessage(const Payload& msg);
+
+/// Names of all registered message structs, in tag order (the manifest
+/// SER-001 checks core/messages.h against).
+std::vector<std::string> RegisteredMessageNames();
+
+}  // namespace tornado
+
+#endif  // TORNADO_CORE_MESSAGE_SERDE_H_

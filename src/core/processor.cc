@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/ordered.h"
 
 namespace tornado {
 
@@ -79,9 +80,10 @@ void Processor::OnMessage(NodeId src, const Payload& msg) {
 
 void Processor::SendProgressReports() {
   EngineActions actions;
-  for (auto& [loop, ls] : sessions_.loops()) {
+  // Ordered walk: report emission order feeds the network (DET-003).
+  ForEachOrdered(sessions_.loops(), [&](LoopId, LoopState& ls) {
     machine_.BuildReport(ls, &actions);
-  }
+  });
   Execute(actions);
   ScheduleSelf(config_->cost.progress_period,
                [this]() { SendProgressReports(); });

@@ -23,14 +23,19 @@ class MetricsEngineObserver final : public EngineObserver {
         versions_flushed_(metrics->CounterHandle(metric::kVersionsFlushed)) {}
 
   void OnInputGathered(LoopId) override { ++inputs_gathered_; }
-  void OnPrepare(LoopId, VertexId, uint64_t fanout) override {
+  void OnPrepare(LoopId, LoopEpoch, VertexId, uint64_t fanout) override {
     prepares_sent_ += static_cast<int64_t>(fanout);
   }
-  void OnAck(LoopId, VertexId) override { ++acks_sent_; }
-  void OnCommit(LoopId, VertexId, Iteration) override {
+  void OnAck(LoopId, LoopEpoch, VertexId, VertexId, Iteration) override {
+    ++acks_sent_;
+  }
+  void OnCommit(LoopId, LoopEpoch, VertexId, Iteration, Iteration,
+                Iteration) override {
     ++updates_committed_;
   }
-  void OnBlock(LoopId, VertexId, Iteration) override { ++updates_blocked_; }
+  void OnBlock(LoopId, LoopEpoch, VertexId, Iteration) override {
+    ++updates_blocked_;
+  }
   void OnFlush(LoopId, uint64_t versions) override {
     versions_flushed_ += static_cast<int64_t>(versions);
   }

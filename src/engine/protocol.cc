@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/ordered.h"
 #include "core/vertex_program.h"
 
 namespace tornado {
@@ -143,7 +144,14 @@ bool ProtocolStateMachine::Dispatch(const Payload& msg, EngineActions* out) {
 }
 
 void ProtocolStateMachine::EnsureMainLoop() {
-  if (!sessions_->Has(kMainLoop)) sessions_->Create(kMainLoop, 0, 0);
+  if (!sessions_->Has(kMainLoop)) CreateLoop(kMainLoop, 0, 0);
+}
+
+LoopState& ProtocolStateMachine::CreateLoop(LoopId loop, LoopEpoch epoch,
+                                            Iteration tau) {
+  LoopState& ls = sessions_->Create(loop, epoch, tau);
+  observer_->OnLoopCreated(loop, epoch, tau, index_);
+  return ls;
 }
 
 void ProtocolStateMachine::Reset() {
@@ -151,19 +159,21 @@ void ProtocolStateMachine::Reset() {
   // process restart, and monotonicity keeps the ack order acyclic.
   sessions_->Clear();
   orphans_.clear();
+  observer_->OnEngineReset(index_);
 }
 
 void ProtocolStateMachine::DumpState() const {
-  for (const auto& [loop, ls] : sessions_->loops()) {
+  // Sorted walk: dump output must be deterministic run-to-run (DET-003).
+  ForEachOrdered(sessions_->loops(), [&](LoopId loop, const LoopState& ls) {
     TLOG_INFO << "proc " << index_ << " loop " << loop << " epoch "
               << ls.epoch << " tau=" << ls.tau
               << " vertices=" << ls.vertices.size()
               << " blocked=" << ls.blocked_count
               << " stalled=" << ls.stalled.size();
-    for (const auto& [v, s] : ls.vertices) {
+    ForEachOrdered(ls.vertices, [&](VertexId v, const VertexSession& s) {
       if (!s.dirty && !s.update_time.has_value() && s.prepare_list.empty() &&
           s.pending_inputs.empty()) {
-        continue;
+        return;
       }
       std::string plist, wlist;
       for (VertexId p : s.prepare_list) plist += std::to_string(p) + ",";
@@ -174,13 +184,13 @@ void ProtocolStateMachine::DumpState() const {
                 << " prepare_list=[" << plist << "] waiting=[" << wlist
                 << "] pending_inputs=" << s.pending_inputs.size()
                 << " pending_acks=" << s.pending_list.size();
-    }
+    });
     for (const auto& [iter, c] : ls.buckets) {
       TLOG_INFO << "  bucket " << iter << " committed=" << c.committed
                 << " sent=" << c.sent << " owned=" << c.owned
                 << " gathered=" << c.gathered;
     }
-  }
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -218,7 +228,7 @@ LoopState* ProtocolStateMachine::ResolveLoop(LoopId loop, LoopEpoch epoch) {
   if (ls == nullptr) {
     if (loop == kMainLoop && epoch == 0) {
       // The main loop materializes lazily when the first input arrives.
-      return &sessions_->Create(kMainLoop, 0, 0);
+      return &CreateLoop(kMainLoop, 0, 0);
     }
     return nullptr;
   }
@@ -304,7 +314,7 @@ void ProtocolStateMachine::HandleUpdate(const UpdateMsg& msg,
         BlockedUpdate{msg.src_vertex, msg.dst_vertex, msg.iteration,
                       msg.update});
     ++ls->blocked_count;
-    observer_->OnBlock(ls->loop, msg.dst_vertex, msg.iteration);
+    observer_->OnBlock(ls->loop, ls->epoch, msg.dst_vertex, msg.iteration);
     // The producer has committed even though the value cannot be gathered
     // yet; the consumer is no longer involved in its preparation and may
     // schedule its own (earlier-iteration) update.
@@ -394,7 +404,7 @@ void ProtocolStateMachine::MaybePrepare(LoopState& ls, VertexSession& s,
     SendToVertex(out, c, std::move(prep));
   }
   ls.prepares_sent += consumers.size();
-  observer_->OnPrepare(ls.loop, s.id, consumers.size());
+  observer_->OnPrepare(ls.loop, ls.epoch, s.id, consumers.size());
 }
 
 void ProtocolStateMachine::HandlePrepare(const PrepareMsg& msg,
@@ -421,9 +431,10 @@ void ProtocolStateMachine::HandlePrepare(const PrepareMsg& msg,
     ack->epoch = ls->epoch;
     ack->src_vertex = s.id;
     ack->dst_vertex = msg.src_vertex;
-    ack->iteration = std::min(s.iter, BoundIteration(*ls));
+    const Iteration acked = std::min(s.iter, BoundIteration(*ls));
+    ack->iteration = acked;
     SendToVertex(out, msg.src_vertex, std::move(ack));
-    observer_->OnAck(ls->loop, s.id);
+    observer_->OnAck(ls->loop, ls->epoch, s.id, msg.src_vertex, acked);
   } else {
     s.pending_list.emplace_back(msg.src_vertex, msg.time);
   }
@@ -502,9 +513,11 @@ void ProtocolStateMachine::Commit(LoopState& ls, VertexSession& s,
   ls.buckets[iteration].committed++;
   ls.buckets[iteration].progress += ctx.progress;
   ls.progress[iteration] += ctx.progress;
-  observer_->OnCommit(ls.loop, s.id, iteration);
 
   PersistVertex(ls, s, iteration, out);
+  // Fired after the persist so checkers can cross-examine the store.
+  observer_->OnCommit(ls.loop, ls.epoch, s.id, iteration, ls.tau,
+                      BoundIteration(ls));
 
   // Reply to producers whose PREPAREs were deferred behind this update.
   for (auto& [producer, time] : s.pending_list) {
@@ -515,7 +528,7 @@ void ProtocolStateMachine::Commit(LoopState& ls, VertexSession& s,
     ack->dst_vertex = producer;
     ack->iteration = s.iter;
     SendToVertex(out, producer, std::move(ack));
-    observer_->OnAck(ls.loop, s.id);
+    observer_->OnAck(ls.loop, ls.epoch, s.id, producer, s.iter);
   }
   s.pending_list.clear();
   s.ClearRetiring();
@@ -542,6 +555,7 @@ void ProtocolStateMachine::HandleTerminated(const TerminatedMsg& msg,
   }
   if (msg.upto + 1 <= ls->tau) return;  // duplicate notification
   ls->tau = msg.upto + 1;
+  observer_->OnTerminated(ls->loop, ls->epoch, index_, ls->tau);
 
   // Old buckets can no longer change; drop them to keep reports small.
   for (auto it = ls->buckets.begin(); it != ls->buckets.end();) {
@@ -579,7 +593,8 @@ void ProtocolStateMachine::ReleaseBlocked(LoopState& ls, EngineActions* out) {
 }
 
 void ProtocolStateMachine::RetryStalled(LoopState& ls, EngineActions* out) {
-  std::vector<VertexId> retry(ls.stalled.begin(), ls.stalled.end());
+  // Sorted snapshot: retry order decides PREPARE emission order (DET-003).
+  std::vector<VertexId> retry = SortedKeys(ls.stalled);
   for (VertexId v : retry) {
     auto it = ls.vertices.find(v);
     if (it == ls.vertices.end()) {
@@ -597,7 +612,7 @@ void ProtocolStateMachine::RetryStalled(LoopState& ls, EngineActions* out) {
 void ProtocolStateMachine::HandleForkBranch(const ForkBranchMsg& msg,
                                             EngineActions* out) {
   if (sessions_->Has(msg.branch)) return;  // duplicate
-  LoopState& branch = sessions_->Create(msg.branch, msg.epoch, 0);
+  LoopState& branch = CreateLoop(msg.branch, msg.epoch, 0);
 
   // Load this partition's slice of the snapshot (materialized by the
   // master under the branch loop id at iteration 0).
@@ -617,7 +632,9 @@ void ProtocolStateMachine::HandleForkBranch(const ForkBranchMsg& msg,
   // approximation error the branch has to resolve (Section 3.3).
   LoopState* parent = sessions_->Get(msg.parent);
   if (parent != nullptr) {
-    for (auto& [v, ps] : parent->vertices) {
+    // Ordered walk: session creation order seeds the branch's hash tables
+    // and must not depend on the parent's hash-table layout (DET-003).
+    ForEachOrdered(parent->vertices, [&](VertexId v, VertexSession& ps) {
       // Vertices committed *at* the snapshot iteration are included: their
       // updates may still have been in flight toward consumers when the
       // snapshot was cut, so they must re-scatter in the branch.
@@ -625,11 +642,11 @@ void ProtocolStateMachine::HandleForkBranch(const ForkBranchMsg& msg,
                           !ps.pending_inputs.empty() ||
                           (ps.last_commit != kNoIteration &&
                            ps.last_commit >= msg.snapshot_iteration);
-      if (!active) continue;
+      if (!active) return;
       VertexSession& s = GetOrCreateVertex(branch, v);
       s.dirty = true;
       config_->program->OnRestore(s.state.get());
-    }
+    });
     for (auto& [iter, batch] : parent->blocked) {
       for (const BlockedUpdate& b : batch) {
         VertexSession& s = GetOrCreateVertex(branch, b.dst);
@@ -639,10 +656,11 @@ void ProtocolStateMachine::HandleForkBranch(const ForkBranchMsg& msg,
     }
   }
 
-  std::vector<VertexId> ids;
-  ids.reserve(branch.vertices.size());
-  for (auto& [v, s] : branch.vertices) ids.push_back(v);
-  for (VertexId v : ids) MaybePrepare(branch, branch.vertices.at(v), out);
+  // Sorted ids: this loop's PREPARE/commit emission order feeds straight
+  // into the network (DET-003).
+  for (VertexId v : SortedKeys(branch.vertices)) {
+    MaybePrepare(branch, branch.vertices.at(v), out);
+  }
 
   ReplayOrphans(msg.branch, msg.epoch, out);
   // Report immediately so an empty branch converges quickly.
@@ -653,7 +671,7 @@ void ProtocolStateMachine::HandleForkBranch(const ForkBranchMsg& msg,
 
 void ProtocolStateMachine::HandleRestartLoop(const RestartLoopMsg& msg,
                                              EngineActions* out) {
-  LoopState& loop = sessions_->Create(
+  LoopState& loop = CreateLoop(
       msg.loop, msg.new_epoch,
       msg.from_iteration == kNoIteration ? 0 : msg.from_iteration + 1);
 
@@ -675,10 +693,10 @@ void ProtocolStateMachine::HandleRestartLoop(const RestartLoopMsg& msg,
       ++loaded;
     }
     out->cost += config_->cost.store_write_cost * static_cast<double>(loaded);
-    std::vector<VertexId> ids;
-    ids.reserve(loop.vertices.size());
-    for (auto& [v, s] : loop.vertices) ids.push_back(v);
-    for (VertexId v : ids) MaybePrepare(loop, loop.vertices.at(v), out);
+    // Sorted ids: re-drive order decides PREPARE emission order (DET-003).
+    for (VertexId v : SortedKeys(loop.vertices)) {
+      MaybePrepare(loop, loop.vertices.at(v), out);
+    }
   }
   ReplayOrphans(msg.loop, msg.new_epoch, out);
   LoopState* after = sessions_->Get(msg.loop);
@@ -688,6 +706,7 @@ void ProtocolStateMachine::HandleRestartLoop(const RestartLoopMsg& msg,
 
 void ProtocolStateMachine::HandleStopLoop(const StopLoopMsg& msg) {
   sessions_->Drop(msg.loop);
+  observer_->OnLoopDropped(msg.loop, index_);
 }
 
 void ProtocolStateMachine::HandleAdoptMerge(const AdoptMergeMsg& msg) {
@@ -712,6 +731,7 @@ void ProtocolStateMachine::HandleAdoptMerge(const AdoptMergeMsg& msg) {
     }
     s.merge_floor = msg.merge_iteration;
     s.dirty = false;
+    observer_->OnMergeAdopted(ls->loop, ls->epoch, v, msg.merge_iteration);
   }
 }
 
@@ -744,6 +764,7 @@ std::shared_ptr<ProgressMsg> ProtocolStateMachine::BuildReport(
   report->buckets = ls.buckets;
 
   Iteration min_work = kNoIteration;
+  // NOLINTNEXTLINE(DET-003): min-aggregation is order-insensitive.
   for (const auto& [v, s] : ls.vertices) {
     if (!s.dirty && !s.update_time.has_value()) continue;
     const Iteration mc = MinCommitIteration(ls, s);

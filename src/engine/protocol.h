@@ -119,6 +119,7 @@ class ProtocolStateMachine {
 
   // Helpers.
   LoopState* ResolveLoop(LoopId loop, LoopEpoch epoch);
+  LoopState& CreateLoop(LoopId loop, LoopEpoch epoch, Iteration tau);
   VertexSession& GetOrCreateVertex(LoopState& ls, VertexId id);
   void PersistVertex(LoopState& ls, VertexSession& s, Iteration iteration,
                      EngineActions* out);

@@ -1,5 +1,6 @@
 #include "graph/dynamic_graph.h"
 
+#include <algorithm>
 #include <cmath>
 #include <queue>
 
@@ -40,6 +41,7 @@ std::vector<VertexId> DynamicGraph::Vertices() const {
   std::vector<VertexId> out;
   out.reserve(adjacency_.size());
   for (const auto& [v, edges] : adjacency_) out.push_back(v);
+  std::sort(out.begin(), out.end());  // deterministic listing for callers
   return out;
 }
 

@@ -264,6 +264,7 @@ void Network::KillNode(NodeId id) {
   // retransmission timers.
   for (auto it = send_channels_.begin(); it != send_channels_.end();) {
     if ((it->first >> 42) == id) {
+      // NOLINTNEXTLINE(DET-003): timer cancellation is order-insensitive.
       for (auto& [seq, pending] : it->second.unacked) {
         loop_->Cancel(pending.timer);
       }

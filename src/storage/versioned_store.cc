@@ -1,5 +1,6 @@
 #include "storage/versioned_store.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.h"
@@ -67,6 +68,9 @@ std::vector<VertexId> VersionedStore::VerticesOf(LoopId loop) const {
   for (const auto& [vertex, chain] : it->second.chains) {
     if (!chain.versions.empty()) out.push_back(vertex);
   }
+  // Sorted listing: callers (fork/restart loading) drive prepare rounds in
+  // this order, so it must not depend on hash-table layout.
+  std::sort(out.begin(), out.end());
   return out;
 }
 
@@ -78,6 +82,7 @@ std::vector<VertexId> VersionedStore::VerticesWithVersionAt(
   for (const auto& [vertex, chain] : it->second.chains) {
     if (chain.versions.count(iteration) > 0) out.push_back(vertex);
   }
+  std::sort(out.begin(), out.end());  // deterministic adoption order
   return out;
 }
 

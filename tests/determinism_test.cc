@@ -42,6 +42,11 @@ RunResult RunOnce() {
   config.seed = 5;
 
   TornadoCluster cluster(config, std::make_unique<GraphStream>(options));
+  // Shadow the whole run with the protocol invariant checker: any quorum /
+  // monotonicity / store violation aborts the test with a structured dump.
+  CheckObserver checker(CheckObserver::Options{
+      /*abort_on_violation=*/true, &cluster.store()});
+  AttachChecker(cluster, checker);
   cluster.Start();
   EXPECT_TRUE(cluster.RunUntilEmitted(3000, 600.0));
   cluster.RunFor(1.5);
@@ -62,6 +67,8 @@ RunResult RunOnce() {
         state == nullptr ? -1.0
                          : static_cast<const SsspState&>(*state).length);
   }
+  DeepCheckAll(cluster, checker);
+  EXPECT_GT(checker.commits_checked(), 0u);
   return result;
 }
 

@@ -51,6 +51,9 @@ TEST(KMeansEngineTest, BranchCentroidsAreLloydFixedPoint) {
   config.ingest_rate = 100000.0;
 
   TornadoCluster cluster(config, std::make_unique<PointStream>(stream_options));
+  CheckObserver checker(CheckObserver::Options{
+      /*abort_on_violation=*/true, &cluster.store()});
+  AttachChecker(cluster, checker);
   cluster.Start();
   ASSERT_TRUE(cluster.RunUntilEmitted(stream_options.num_tuples, 600.0));
   cluster.ingester().Pause();
@@ -59,6 +62,8 @@ TEST(KMeansEngineTest, BranchCentroidsAreLloydFixedPoint) {
   const uint64_t query = cluster.ingester().SubmitQuery();
   ASSERT_TRUE(cluster.RunUntilQueryDone(query, 600.0));
   const LoopId branch = cluster.BranchOf(query);
+  DeepCheckAll(cluster, checker);
+  EXPECT_GT(checker.commits_checked(), 0u);
 
   // Collect branch centroids.
   std::vector<std::vector<double>> centroids;

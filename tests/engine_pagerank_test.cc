@@ -61,6 +61,9 @@ TEST(PageRankEngineTest, BranchLoopApproximatesReferenceRanks) {
   config.ingest_rate = 100000.0;
 
   TornadoCluster cluster(config, std::make_unique<GraphStream>(graph_options));
+  CheckObserver checker(CheckObserver::Options{
+      /*abort_on_violation=*/true, &cluster.store()});
+  AttachChecker(cluster, checker);
   cluster.Start();
   ASSERT_TRUE(cluster.RunUntilEmitted(graph_options.num_tuples, 600.0));
   cluster.ingester().Pause();
@@ -69,6 +72,8 @@ TEST(PageRankEngineTest, BranchLoopApproximatesReferenceRanks) {
   const uint64_t query = cluster.ingester().SubmitQuery();
   ASSERT_TRUE(cluster.RunUntilQueryDone(query, 600.0));
   const LoopId branch = cluster.BranchOf(query);
+  DeepCheckAll(cluster, checker);
+  EXPECT_GT(checker.commits_checked(), 0u);
 
   GraphStream replay(graph_options);
   DynamicGraph graph;

@@ -83,6 +83,9 @@ TEST_P(SsspEngineTest, BranchLoopMatchesDijkstraAfterFullStream) {
   const GraphStreamOptions graph_options = SmallGraph();
   JobConfig config = MakeConfig(/*delay_bound=*/GetParam());
   TornadoCluster cluster(config, std::make_unique<GraphStream>(graph_options));
+  CheckObserver checker(CheckObserver::Options{
+      /*abort_on_violation=*/true, &cluster.store()});
+  AttachChecker(cluster, checker);
   cluster.Start();
 
   ASSERT_TRUE(cluster.RunUntilEmitted(graph_options.num_tuples, 600.0));
@@ -97,6 +100,8 @@ TEST_P(SsspEngineTest, BranchLoopMatchesDijkstraAfterFullStream) {
 
   const LoopId branch = cluster.BranchOf(query);
   ASSERT_NE(branch, 0u);
+  DeepCheckAll(cluster, checker);
+  EXPECT_GT(checker.commits_checked(), 0u);
   ExpectMatchesDijkstra(cluster, branch,
                         GraphAtPrefix(graph_options, graph_options.num_tuples));
 }

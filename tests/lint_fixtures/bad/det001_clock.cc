@@ -1,0 +1,26 @@
+// Fixture: DET-001 (wall-clock sources). Never compiled, only scanned.
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+double WallSeconds() {
+  auto now = std::chrono::system_clock::now();  // fires
+  (void)now;
+  return static_cast<double>(time(nullptr));  // fires (call form)
+}
+
+double SuppressedWall() {
+  // NOLINTNEXTLINE(DET-001): fixture exercising the suppression path.
+  auto t = std::chrono::steady_clock::now();
+  (void)t;
+  return 0.0;
+}
+
+double ReasonlessSuppression() {
+  auto t = std::chrono::steady_clock::now();  // NOLINT(DET-001)
+  (void)t;  // the marker above has no reason, so the finding stands
+  return 0.0;
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Fixture: DET-002 (ad-hoc randomness). Never compiled, only scanned.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+int HostEntropy() {
+  std::random_device rd;  // fires
+  (void)rd;
+  return rand();  // fires (hidden global state)
+}
+
+int Suppressed() {
+  // NOLINTNEXTLINE(DET-002): fixture exercising the suppression path.
+  std::mt19937 gen(12345);
+  return static_cast<int>(gen());
+}
+
+}  // namespace fixture

@@ -1,0 +1,32 @@
+// Fixture: DET-003 (unordered iteration feeding the network). Never
+// compiled, only scanned. The Send( call below marks this file as one
+// that puts protocol messages on the wire.
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+struct FakeNet {
+  void Send(int dst);
+};
+
+struct Router {
+  std::unordered_map<int, int> routes_;
+  std::unordered_set<int> peers_;
+  FakeNet net_;
+
+  void Flood() {
+    for (const auto& [dst, cost] : routes_) {  // fires
+      net_.Send(dst + cost);
+    }
+    for (int peer : peers_) {  // fires
+      net_.Send(peer);
+    }
+    // NOLINTNEXTLINE(DET-003): fixture exercising the suppression path.
+    for (const auto& [dst, cost] : routes_) {
+      net_.Send(dst);
+    }
+  }
+};
+
+}  // namespace fixture

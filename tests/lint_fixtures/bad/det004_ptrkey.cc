@@ -1,0 +1,16 @@
+// Fixture: DET-004 (pointer-keyed ordered containers). Never compiled,
+// only scanned.
+#include <map>
+#include <set>
+
+namespace fixture {
+
+struct Widget {};
+
+std::map<Widget*, int> by_widget;  // fires: order = allocation order
+std::set<const Widget*> widget_set;  // fires
+
+// NOLINTNEXTLINE(DET-004): fixture exercising the suppression path.
+std::map<Widget*, int> suppressed_map;
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// Fixture: a file with none of the linted hazards; a scan of this
+// directory alone must exit 0 with zero findings.
+#include <map>
+#include <vector>
+
+namespace fixture {
+
+struct FakeNet {
+  void Send(int dst);
+};
+
+void Drain(FakeNet* net, const std::map<int, int>& ordered) {
+  for (const auto& [dst, cost] : ordered) {  // ordered container: fine
+    net->Send(dst + cost);
+  }
+}
+
+std::vector<int> Touch() { return {1, 2, 3}; }
+
+}  // namespace fixture

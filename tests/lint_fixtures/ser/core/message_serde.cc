@@ -1,0 +1,12 @@
+// Fixture: the serde registry the SER-001 rule cross-checks messages.h
+// against. Never compiled, only scanned.
+#include "core/messages.h"
+
+namespace fixture {
+
+void RegisterAll() {
+  TORNADO_MESSAGE_SERDE(RegisteredMsg);
+  // OrphanMsg deliberately absent.
+}
+
+}  // namespace fixture

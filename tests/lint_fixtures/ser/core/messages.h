@@ -1,0 +1,26 @@
+// Fixture: SER-001 (serde registry coverage). A miniature messages.h;
+// never compiled, only scanned.
+#ifndef FIXTURE_MESSAGES_H_
+#define FIXTURE_MESSAGES_H_
+
+namespace fixture {
+
+struct Payload {
+  virtual ~Payload() = default;
+};
+
+struct RegisteredMsg : Payload {
+  int value = 0;
+};
+
+struct OrphanMsg : Payload {  // fires: missing from the registry below
+  int value = 0;
+};
+
+struct NotAMessage {  // ignored: does not derive from Payload
+  int value = 0;
+};
+
+}  // namespace fixture
+
+#endif  // FIXTURE_MESSAGES_H_

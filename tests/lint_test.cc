@@ -1,0 +1,126 @@
+// Exercises the tornado_lint binary against fixture files with known-bad
+// snippets: every rule must fire on its fixture, NOLINT/NOLINTNEXTLINE
+// with a reason must suppress, and the real src/ tree must scan clean.
+//
+// The binary path and fixture directory come in through compile
+// definitions (see tests/CMakeLists.txt).
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+#include "tests/test_util.h"
+
+namespace tornado {
+namespace {
+
+struct LintRun {
+  int exit_code = -1;
+  std::string output;
+};
+
+LintRun RunLint(const std::string& args) {
+  const std::string cmd =
+      std::string(TORNADO_LINT_BIN) + " " + args + " 2>&1";
+  LintRun run;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return run;
+  std::array<char, 4096> buf;
+  size_t n = 0;
+  while ((n = fread(buf.data(), 1, buf.size(), pipe)) > 0) {
+    run.output.append(buf.data(), n);
+  }
+  const int status = pclose(pipe);
+  run.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return run;
+}
+
+std::string Fixtures(const std::string& sub = "") {
+  std::string path = TORNADO_LINT_FIXTURES;
+  if (!sub.empty()) path += "/" + sub;
+  return path;
+}
+
+// Count of JSON finding lines naming `rule` with the given suppression
+// state (the --json writer emits one finding per line).
+int CountFindings(const std::string& json, const std::string& rule,
+                  bool suppressed) {
+  const std::string rule_key = "\"rule\": \"" + rule + "\"";
+  const std::string supp_key =
+      std::string("\"suppressed\": ") + (suppressed ? "true" : "false");
+  int count = 0;
+  size_t pos = 0;
+  while ((pos = json.find(rule_key, pos)) != std::string::npos) {
+    const size_t eol = json.find('\n', pos);
+    const std::string line = json.substr(pos, eol - pos);
+    if (line.find(supp_key) != std::string::npos) ++count;
+    pos += rule_key.size();
+  }
+  return count;
+}
+
+TEST(LintTest, EveryRuleFiresOnItsFixture) {
+  const LintRun run = RunLint("--json " + Fixtures());
+  ASSERT_EQ(run.exit_code, 1) << run.output;
+  for (const char* rule :
+       {"DET-001", "DET-002", "DET-003", "DET-004", "SER-001"}) {
+    EXPECT_GE(CountFindings(run.output, rule, /*suppressed=*/false), 1)
+        << rule << " did not fire:\n" << run.output;
+  }
+}
+
+TEST(LintTest, NolintWithReasonSuppresses) {
+  const LintRun run = RunLint("--json " + Fixtures());
+  ASSERT_EQ(run.exit_code, 1) << run.output;
+  for (const char* rule : {"DET-001", "DET-002", "DET-003", "DET-004"}) {
+    EXPECT_GE(CountFindings(run.output, rule, /*suppressed=*/true), 1)
+        << rule << " suppression fixture not honored:\n" << run.output;
+  }
+  EXPECT_NE(run.output.find("fixture exercising the suppression path"),
+            std::string::npos)
+      << "suppression reasons must be carried into the report";
+}
+
+TEST(LintTest, NolintWithoutReasonDoesNotSuppress) {
+  const LintRun run = RunLint("--json " + Fixtures("bad/det001_clock.cc"));
+  ASSERT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("carries no reason"), std::string::npos)
+      << run.output;
+}
+
+TEST(LintTest, SerRuleNamesTheOrphanStruct) {
+  const LintRun run = RunLint("--json " + Fixtures("ser"));
+  ASSERT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("OrphanMsg"), std::string::npos) << run.output;
+  EXPECT_EQ(run.output.find("\"rule\": \"SER-001\", \"message\": "
+                            "\"wire message `RegisteredMsg`"),
+            std::string::npos)
+      << "registered struct must not be reported:\n" << run.output;
+}
+
+TEST(LintTest, CleanFixtureScansClean) {
+  const LintRun run = RunLint("--json " + Fixtures("clean"));
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_NE(run.output.find("\"unsuppressed\": 0"), std::string::npos)
+      << run.output;
+}
+
+TEST(LintTest, FixHintsNameTheRemedy) {
+  const LintRun run = RunLint("--fix-hints " + Fixtures("bad"));
+  ASSERT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("hint: "), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("common/ordered.h"), std::string::npos)
+      << run.output;
+}
+
+// The acceptance gate: the real sources carry zero unsuppressed findings.
+TEST(LintTest, SrcTreeIsClean) {
+  const LintRun run = RunLint("--json " + std::string(TORNADO_SRC_DIR));
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+}  // namespace
+}  // namespace tornado

@@ -1,0 +1,204 @@
+// Round-trip tests for the wire-format layer: every protocol message must
+// survive SerializeMessage -> DeserializeMessage with all fields intact
+// (the SER-001 lint rule keeps the registry itself complete).
+#include "core/message_serde.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "core/messages.h"
+#include "tests/test_util.h"
+
+namespace tornado {
+namespace {
+
+template <typename T>
+std::shared_ptr<T> RoundTrip(const T& msg) {
+  BufferWriter w;
+  EXPECT_TRUE(SerializeMessage(msg, &w));
+  BufferReader r(w.data());
+  std::shared_ptr<Payload> out = DeserializeMessage(&r);
+  EXPECT_NE(out, nullptr);
+  EXPECT_TRUE(r.AtEnd()) << "trailing bytes after " << msg.name();
+  auto typed = std::dynamic_pointer_cast<T>(out);
+  EXPECT_NE(typed, nullptr) << "tag decoded to the wrong type";
+  return typed;
+}
+
+TEST(MessageSerdeTest, RegistryCoversEveryWireMessage) {
+  const std::vector<std::string> names = RegisteredMessageNames();
+  for (const char* expected :
+       {"InputMsg", "UpdateMsg", "PrepareMsg", "AckMsg", "ProgressMsg",
+        "TerminatedMsg", "ForkBranchMsg", "StopLoopMsg", "RestartLoopMsg",
+        "AdoptMergeMsg", "ProcessorHelloMsg", "MasterHelloMsg", "QueryMsg",
+        "QueryResultMsg"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected << " missing from the registry";
+  }
+  EXPECT_EQ(names.size(), 14u);
+}
+
+TEST(MessageSerdeTest, InputMsgWithEachDeltaAlternative) {
+  InputMsg edge;
+  edge.loop = 3;
+  edge.epoch = 1;
+  edge.target = 77;
+  edge.delta = EdgeDelta{5, 9, 2.5, /*insert=*/false};
+  auto out = RoundTrip(edge);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->loop, 3u);
+  EXPECT_EQ(out->target, 77u);
+  const auto& e = std::get<EdgeDelta>(out->delta);
+  EXPECT_EQ(e.src, 5u);
+  EXPECT_EQ(e.dst, 9u);
+  EXPECT_DOUBLE_EQ(e.weight, 2.5);
+  EXPECT_FALSE(e.insert);
+
+  InputMsg point;
+  point.delta = PointDelta{11, {1.0, -2.0, 3.5}, true};
+  auto pout = RoundTrip(point);
+  ASSERT_NE(pout, nullptr);
+  const auto& p = std::get<PointDelta>(pout->delta);
+  EXPECT_EQ(p.id, 11u);
+  EXPECT_EQ(p.coords, (std::vector<double>{1.0, -2.0, 3.5}));
+
+  InputMsg instance;
+  instance.delta = InstanceDelta{7, {{2, 0.5}, {19, -1.25}}, -1.0, true};
+  auto iout = RoundTrip(instance);
+  ASSERT_NE(iout, nullptr);
+  const auto& ins = std::get<InstanceDelta>(iout->delta);
+  EXPECT_EQ(ins.id, 7u);
+  ASSERT_EQ(ins.features.size(), 2u);
+  EXPECT_EQ(ins.features[1].first, 19u);
+  EXPECT_DOUBLE_EQ(ins.features[1].second, -1.25);
+  EXPECT_DOUBLE_EQ(ins.label, -1.0);
+}
+
+TEST(MessageSerdeTest, UpdateMsgCarriesTheVertexUpdate) {
+  UpdateMsg msg;
+  msg.loop = 2;
+  msg.epoch = 4;
+  msg.src_vertex = 10;
+  msg.dst_vertex = 20;
+  msg.iteration = 6;
+  msg.update.kind = kNoopUpdateKind;
+  msg.update.values = {0.25, 4.0};
+  auto out = RoundTrip(msg);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->iteration, 6u);
+  EXPECT_EQ(out->update.kind, kNoopUpdateKind);
+  EXPECT_EQ(out->update.values, (std::vector<double>{0.25, 4.0}));
+}
+
+TEST(MessageSerdeTest, PrepareMsgCarriesTheLamportStamp) {
+  PrepareMsg msg;
+  msg.loop = 1;
+  msg.src_vertex = 3;
+  msg.dst_vertex = 4;
+  msg.time = LamportTime{99, 2};
+  auto out = RoundTrip(msg);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->time, (LamportTime{99, 2}));
+}
+
+TEST(MessageSerdeTest, ProgressMsgBucketsSurvive) {
+  ProgressMsg msg;
+  msg.loop = 0;
+  msg.epoch = 2;
+  msg.processor = 3;
+  msg.local_tau = 5;
+  msg.min_work_iter = kNoIteration;
+  msg.blocked_updates = 17;
+  msg.inputs_gathered = 400;
+  msg.prepares_sent = 250;
+  msg.progress_sum = 1.5;
+  msg.report_seq = 12;
+  msg.buckets[4] = IterationCounters{10, 9, 8, 7, 0.5};
+  msg.buckets[6] = IterationCounters{1, 2, 3, 4, 0.25};
+  auto out = RoundTrip(msg);
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->min_work_iter, kNoIteration);
+  ASSERT_EQ(out->buckets.size(), 2u);
+  EXPECT_EQ(out->buckets.at(4).committed, 10u);
+  EXPECT_EQ(out->buckets.at(6).gathered, 4u);
+  EXPECT_DOUBLE_EQ(out->buckets.at(6).progress, 0.25);
+  EXPECT_EQ(out->report_seq, 12u);
+}
+
+TEST(MessageSerdeTest, ControlMessagesRoundTrip) {
+  TerminatedMsg term;
+  term.loop = 1;
+  term.epoch = 2;
+  term.upto = 30;
+  EXPECT_EQ(RoundTrip(term)->upto, 30u);
+
+  ForkBranchMsg fork;
+  fork.branch = 9;
+  fork.parent = 0;
+  fork.snapshot_iteration = 21;
+  fork.query_id = 1234;
+  auto fout = RoundTrip(fork);
+  ASSERT_NE(fout, nullptr);
+  EXPECT_EQ(fout->branch, 9u);
+  EXPECT_EQ(fout->query_id, 1234u);
+
+  StopLoopMsg stop;
+  stop.loop = 9;
+  EXPECT_EQ(RoundTrip(stop)->loop, 9u);
+
+  RestartLoopMsg restart;
+  restart.loop = 0;
+  restart.new_epoch = 3;
+  restart.from_iteration = 14;
+  auto rout = RoundTrip(restart);
+  ASSERT_NE(rout, nullptr);
+  EXPECT_EQ(rout->new_epoch, 3u);
+  EXPECT_EQ(rout->from_iteration, 14u);
+
+  AdoptMergeMsg adopt;
+  adopt.merge_iteration = 44;
+  EXPECT_EQ(RoundTrip(adopt)->merge_iteration, 44u);
+
+  ProcessorHelloMsg hello;
+  hello.processor = 2;
+  hello.restarted = true;
+  auto hout = RoundTrip(hello);
+  ASSERT_NE(hout, nullptr);
+  EXPECT_TRUE(hout->restarted);
+
+  MasterHelloMsg master_hello;
+  EXPECT_NE(RoundTrip(master_hello), nullptr);
+
+  QueryMsg query;
+  query.query_id = 55;
+  query.submit_time = 1.75;
+  EXPECT_DOUBLE_EQ(RoundTrip(query)->submit_time, 1.75);
+
+  QueryResultMsg result;
+  result.query_id = 55;
+  result.branch = 6;
+  result.converged_iteration = 18;
+  result.submit_time = 1.75;
+  auto qout = RoundTrip(result);
+  ASSERT_NE(qout, nullptr);
+  EXPECT_EQ(qout->converged_iteration, 18u);
+}
+
+TEST(MessageSerdeTest, UnknownTagAndTruncationFailCleanly) {
+  BufferWriter w;
+  w.PutU8(0xEE);  // tag far beyond the registry
+  BufferReader r(w.data());
+  EXPECT_EQ(DeserializeMessage(&r), nullptr);
+
+  UpdateMsg msg;
+  msg.update.values = {1.0, 2.0, 3.0};
+  BufferWriter full;
+  ASSERT_TRUE(SerializeMessage(msg, &full));
+  BufferReader truncated(full.data().data(), full.size() / 2);
+  EXPECT_EQ(DeserializeMessage(&truncated), nullptr);
+}
+
+}  // namespace
+}  // namespace tornado

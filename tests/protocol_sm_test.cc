@@ -88,14 +88,17 @@ struct ObservedCommit {
 class RecordingObserver : public EngineObserver {
  public:
   void OnInputGathered(LoopId) override { ++inputs; }
-  void OnPrepare(LoopId, VertexId, uint64_t fanout) override {
+  void OnPrepare(LoopId, LoopEpoch, VertexId, uint64_t fanout) override {
     prepares += fanout;
   }
-  void OnAck(LoopId, VertexId) override { ++acks; }
-  void OnCommit(LoopId loop, VertexId vertex, Iteration iteration) override {
+  void OnAck(LoopId, LoopEpoch, VertexId, VertexId, Iteration) override {
+    ++acks;
+  }
+  void OnCommit(LoopId loop, LoopEpoch, VertexId vertex, Iteration iteration,
+                Iteration, Iteration) override {
     commits.push_back({loop, vertex, iteration});
   }
-  void OnBlock(LoopId, VertexId, Iteration) override { ++blocks; }
+  void OnBlock(LoopId, LoopEpoch, VertexId, Iteration) override { ++blocks; }
   void OnFlush(LoopId, uint64_t versions) override { flushed += versions; }
 
   uint64_t inputs = 0;

@@ -3,7 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include "check/invariant_checker.h"
 #include "common/logging.h"
+#include "core/cluster.h"
 
 namespace tornado {
 
@@ -15,6 +17,20 @@ class QuietLogs : public ::testing::Environment {
 
 inline const ::testing::Environment* const kQuietLogs =
     ::testing::AddGlobalTestEnvironment(new QuietLogs);
+
+/// Attaches `checker` to every processor's engine events. Call before
+/// cluster.Start() so no event is missed.
+inline void AttachChecker(TornadoCluster& cluster, CheckObserver& checker) {
+  cluster.AddEngineObserver(&checker);
+}
+
+/// Runs the checker's structural invariants over every processor of the
+/// (idle) cluster.
+inline void DeepCheckAll(TornadoCluster& cluster, CheckObserver& checker) {
+  for (uint32_t p = 0; p < cluster.config().num_processors; ++p) {
+    checker.DeepCheck(cluster.processor(p).sessions());
+  }
+}
 
 }  // namespace tornado
 

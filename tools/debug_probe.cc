@@ -12,11 +12,11 @@ using namespace tornado; using namespace tornado::bench;
 // concentrates, which the aggregated registry counters cannot.
 struct ProbeObserver : EngineObserver {
   struct Tally { uint64_t prepares = 0, acks = 0, commits = 0, blocks = 0, flushes = 0; };
-  std::map<LoopId, Tally> per_loop;
-  void OnPrepare(LoopId l, VertexId, uint64_t fanout) override { per_loop[l].prepares += fanout; }
-  void OnAck(LoopId l, VertexId) override { per_loop[l].acks++; }
-  void OnCommit(LoopId l, VertexId, Iteration) override { per_loop[l].commits++; }
-  void OnBlock(LoopId l, VertexId, Iteration) override { per_loop[l].blocks++; }
+  std::map<LoopId, Tally> per_loop;  // ordered: printed at exit
+  void OnPrepare(LoopId l, LoopEpoch, VertexId, uint64_t fanout) override { per_loop[l].prepares += fanout; }
+  void OnAck(LoopId l, LoopEpoch, VertexId, VertexId, Iteration) override { per_loop[l].acks++; }
+  void OnCommit(LoopId l, LoopEpoch, VertexId, Iteration, Iteration, Iteration) override { per_loop[l].commits++; }
+  void OnBlock(LoopId l, LoopEpoch, VertexId, Iteration) override { per_loop[l].blocks++; }
   void OnFlush(LoopId l, uint64_t versions) override { per_loop[l].flushes += versions; }
 };
 

@@ -1,0 +1,738 @@
+// tornado_lint: determinism & protocol-safety static analysis over the
+// Tornado sources (docs/CHECKS.md catalogues the rules).
+//
+// The simulator's core guarantee is bit-identical replay under a fixed
+// seed, so the hazard classes this pass hunts are the ones that leak
+// nondeterminism into the protocol: wall-clock reads, ad-hoc RNG, and
+// hash-table iteration order feeding the network. It is a token-level
+// scanner (comments and string literals blanked, line numbers preserved)
+// plus a corpus-wide symbol table — deliberately not a real C++ frontend,
+// which keeps it dependency-free and fast enough to run as a test.
+//
+// Rules:
+//   DET-001  wall-clock time source outside bench/ and tools/
+//   DET-002  ad-hoc random source outside common/rng
+//   DET-003  range-for over an unordered container in a file that sends
+//            protocol messages (iteration order feeds net::Payload)
+//   DET-004  pointer-keyed ordered container (ordering = allocation order)
+//   SER-001  Payload struct in core/messages.h missing from the
+//            TORNADO_MESSAGE_SERDE registry in core/message_serde.cc
+//
+// Suppression (clang-tidy style; the reason is mandatory):
+//   code;  // NOLINT(DET-003): why this is safe.
+//   // NOLINTNEXTLINE(DET-001): why this is safe.
+//   code;
+//
+// Usage: tornado_lint [--json] [--fix-hints] [path...]   (default: src)
+// Exit code 0 when clean, 1 on unsuppressed findings, 2 on usage errors.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+  std::string hint;
+  bool suppressed = false;
+  std::string reason;  // the NOLINT justification, when suppressed
+};
+
+struct SourceFile {
+  std::string path;              // as given (repo-relative when possible)
+  std::string raw;               // original text
+  std::string code;              // comments/strings blanked, lines preserved
+  std::vector<std::string> raw_lines;
+  std::vector<size_t> line_starts;  // offsets into `code`
+};
+
+struct RuleInfo {
+  const char* id;
+  const char* description;
+  const char* hint;
+};
+
+const RuleInfo kRules[] = {
+    {"DET-001",
+     "wall-clock time source in deterministic code",
+     "use the simulated clock (EventLoop::now / Node::now) instead"},
+    {"DET-002",
+     "ad-hoc random source in deterministic code",
+     "derive a stream from common/rng.h (e.g. SessionTable::MakeVertexRng)"},
+    {"DET-003",
+     "hash-table iteration order reaches the network",
+     "iterate via common/ordered.h (SortedKeys / ForEachOrdered)"},
+    {"DET-004",
+     "pointer-keyed ordered container",
+     "key by a stable id (VertexId, LoopId, NodeId), not an address"},
+    {"SER-001",
+     "Payload struct missing from the message serde registry",
+     "add TORNADO_MESSAGE_SERDE(<struct>) to core/message_serde.cc"},
+};
+
+const RuleInfo* FindRule(const std::string& id) {
+  for (const RuleInfo& r : kRules) {
+    if (id == r.id) return &r;
+  }
+  return nullptr;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Replaces comments and string/char literals with spaces, preserving
+// newlines so offsets map straight back to line numbers.
+std::string BlankCommentsAndStrings(const std::string& in) {
+  std::string out = in;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (size_t i = 0; i < in.size(); ++i) {
+    const char c = in[i];
+    const char next = i + 1 < in.size() ? in[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = ' ';
+        } else if (c == '"') {
+          state = State::kString;
+          out[i] = ' ';
+        } else if (c == '\'') {
+          state = State::kChar;
+          out[i] = ' ';
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          out[i] = ' ';
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          out[i] = ' ';
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  lines.push_back(current);
+  return lines;
+}
+
+SourceFile LoadFile(const std::string& path) {
+  SourceFile f;
+  f.path = path;
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  f.raw = buf.str();
+  f.code = BlankCommentsAndStrings(f.raw);
+  f.raw_lines = SplitLines(f.raw);
+  f.line_starts.push_back(0);
+  for (size_t i = 0; i < f.code.size(); ++i) {
+    if (f.code[i] == '\n') f.line_starts.push_back(i + 1);
+  }
+  return f;
+}
+
+int LineOf(const SourceFile& f, size_t offset) {
+  auto it =
+      std::upper_bound(f.line_starts.begin(), f.line_starts.end(), offset);
+  return static_cast<int>(it - f.line_starts.begin());
+}
+
+// Whole-word occurrences of `word` in the blanked code.
+std::vector<size_t> FindWord(const std::string& code,
+                             const std::string& word) {
+  std::vector<size_t> hits;
+  size_t pos = 0;
+  while ((pos = code.find(word, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !IsIdentChar(code[pos - 1]);
+    const size_t end = pos + word.size();
+    const bool right_ok = end >= code.size() || !IsIdentChar(code[end]);
+    if (left_ok && right_ok) hits.push_back(pos);
+    pos = end;
+  }
+  return hits;
+}
+
+bool NextNonSpaceIs(const std::string& code, size_t from, char expect) {
+  for (size_t i = from; i < code.size(); ++i) {
+    if (std::isspace(static_cast<unsigned char>(code[i])) != 0) continue;
+    return code[i] == expect;
+  }
+  return false;
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+// --- Suppression: NOLINT(RULE): reason / NOLINTNEXTLINE(RULE): reason. ---
+
+struct Suppression {
+  bool matches = false;    // a NOLINT marker names this rule
+  bool has_reason = false; // and carries a written justification
+  std::string reason;
+};
+
+Suppression ParseNolint(const std::string& line, const std::string& marker,
+                        const std::string& rule) {
+  Suppression s;
+  const size_t at = line.find(marker);
+  if (at == std::string::npos) return s;
+  const size_t open = at + marker.size();
+  if (open >= line.size() || line[open] != '(') return s;
+  const size_t close = line.find(')', open);
+  if (close == std::string::npos) return s;
+  // Comma-separated rule list inside the parens.
+  std::string rules = line.substr(open + 1, close - open - 1);
+  std::stringstream ss(rules);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (Trim(item) == rule) s.matches = true;
+  }
+  if (!s.matches) return s;
+  const size_t colon = line.find(':', close);
+  if (colon != std::string::npos) {
+    s.reason = Trim(line.substr(colon + 1));
+    s.has_reason = !s.reason.empty();
+  }
+  return s;
+}
+
+Suppression CheckSuppressed(const SourceFile& f, int line,
+                            const std::string& rule) {
+  // NOLINTNEXTLINE must be the *previous* line; NOLINT the same line.
+  if (line >= 1 && static_cast<size_t>(line) <= f.raw_lines.size()) {
+    Suppression same =
+        ParseNolint(f.raw_lines[line - 1], "NOLINT", rule);
+    // Guard: "NOLINTNEXTLINE" also contains "NOLINT"; require that the
+    // same-line marker is not actually a NEXTLINE marker.
+    if (same.matches &&
+        f.raw_lines[line - 1].find("NOLINTNEXTLINE") == std::string::npos) {
+      return same;
+    }
+  }
+  if (line >= 2) {
+    Suppression prev =
+        ParseNolint(f.raw_lines[line - 2], "NOLINTNEXTLINE", rule);
+    if (prev.matches) return prev;
+  }
+  return Suppression{};
+}
+
+class Linter {
+ public:
+  void Report(const SourceFile& f, size_t offset, const std::string& rule,
+              const std::string& message) {
+    const RuleInfo* info = FindRule(rule);
+    Finding finding;
+    finding.file = f.path;
+    finding.line = LineOf(f, offset);
+    finding.rule = rule;
+    finding.message = message;
+    finding.hint = info != nullptr ? info->hint : "";
+    const Suppression s = CheckSuppressed(f, finding.line, rule);
+    if (s.matches && s.has_reason) {
+      finding.suppressed = true;
+      finding.reason = s.reason;
+    } else if (s.matches) {
+      finding.message += " (NOLINT present but carries no reason; "
+                         "write `NOLINT(" + rule + "): why`)";
+    }
+    findings_.push_back(std::move(finding));
+  }
+
+  std::vector<Finding>& findings() { return findings_; }
+
+ private:
+  std::vector<Finding> findings_;
+};
+
+// --- DET-001: wall-clock time sources. ---
+
+bool ExemptFromClockRules(const std::string& path) {
+  return path.find("bench/") != std::string::npos ||
+         path.find("tools/") != std::string::npos;
+}
+
+void CheckWallClock(const SourceFile& f, Linter* lint) {
+  if (ExemptFromClockRules(f.path)) return;
+  static const char* kClockWords[] = {
+      "system_clock",  "steady_clock", "high_resolution_clock",
+      "gettimeofday",  "clock_gettime", "localtime",
+      "gmtime",        "mktime",
+  };
+  for (const char* word : kClockWords) {
+    for (size_t pos : FindWord(f.code, word)) {
+      lint->Report(f, pos, "DET-001",
+                   std::string(word) + " reads the host's wall clock; "
+                   "simulated runs must use virtual time");
+    }
+  }
+  // `time(` and `clock(` only as direct calls (the bare words are too
+  // common as substrings of member names to match unqualified).
+  for (const char* word : {"time", "clock"}) {
+    for (size_t pos : FindWord(f.code, word)) {
+      if (NextNonSpaceIs(f.code, pos + std::string(word).size(), '(')) {
+        lint->Report(f, pos, "DET-001",
+                     std::string(word) + "() reads the host's wall clock; "
+                     "simulated runs must use virtual time");
+      }
+    }
+  }
+}
+
+// --- DET-002: ad-hoc randomness. ---
+
+bool ExemptFromRngRules(const std::string& path) {
+  return path.find("common/rng") != std::string::npos ||
+         path.find("bench/") != std::string::npos ||
+         path.find("tools/") != std::string::npos;
+}
+
+void CheckRandom(const SourceFile& f, Linter* lint) {
+  if (ExemptFromRngRules(f.path)) return;
+  static const char* kRngWords[] = {"random_device", "srand", "drand48",
+                                    "lrand48", "rand_r"};
+  for (const char* word : kRngWords) {
+    for (size_t pos : FindWord(f.code, word)) {
+      lint->Report(f, pos, "DET-002",
+                   std::string(word) + " is an unseeded / host-entropy "
+                   "random source");
+    }
+  }
+  for (size_t pos : FindWord(f.code, "rand")) {
+    if (NextNonSpaceIs(f.code, pos + 4, '(')) {
+      lint->Report(f, pos, "DET-002",
+                   "rand() uses hidden global state; streams must be "
+                   "explicitly seeded");
+    }
+  }
+  for (const char* word : {"mt19937", "mt19937_64", "minstd_rand"}) {
+    for (size_t pos : FindWord(f.code, word)) {
+      lint->Report(f, pos, "DET-002",
+                   std::string(word) + " bypasses the repo-wide Rng; "
+                   "seeding discipline lives in common/rng.h");
+    }
+  }
+}
+
+// --- DET-003: unordered iteration feeding the network. ---
+
+// Corpus-wide set of identifiers (variables, members, accessor methods)
+// declared with an unordered container type.
+std::set<std::string> CollectUnorderedSymbols(
+    const std::vector<SourceFile>& files) {
+  std::set<std::string> symbols;
+  for (const SourceFile& f : files) {
+    for (const char* type : {"unordered_map", "unordered_set"}) {
+      for (size_t pos : FindWord(f.code, type)) {
+        // Skip past the template argument list.
+        size_t i = pos + std::string(type).size();
+        while (i < f.code.size() &&
+               std::isspace(static_cast<unsigned char>(f.code[i])) != 0) {
+          ++i;
+        }
+        if (i >= f.code.size() || f.code[i] != '<') continue;
+        int depth = 0;
+        for (; i < f.code.size(); ++i) {
+          if (f.code[i] == '<') ++depth;
+          if (f.code[i] == '>') {
+            --depth;
+            if (depth == 0) {
+              ++i;
+              break;
+            }
+          }
+        }
+        // Past any reference/pointer qualifiers, the next identifier is
+        // the declared name (variable, member, or accessor method).
+        while (i < f.code.size() &&
+               (std::isspace(static_cast<unsigned char>(f.code[i])) != 0 ||
+                f.code[i] == '&' || f.code[i] == '*')) {
+          ++i;
+        }
+        size_t name_end = i;
+        while (name_end < f.code.size() && IsIdentChar(f.code[name_end])) {
+          ++name_end;
+        }
+        if (name_end > i) symbols.insert(f.code.substr(i, name_end - i));
+      }
+    }
+  }
+  return symbols;
+}
+
+// A file participates in the protocol when it can put bytes on the wire.
+bool TouchesNetwork(const SourceFile& f) {
+  return f.raw.find("core/messages.h") != std::string::npos ||
+         f.code.find("Send(") != std::string::npos ||
+         f.code.find("SendToMaster(") != std::string::npos;
+}
+
+// Extracts the symbol a range-for iterates: the trailing identifier of
+// the range expression, with one trailing call's parens stripped so both
+// `table.loops()` and `ls.vertices` resolve.
+std::string RangeSymbol(std::string expr) {
+  expr = Trim(expr);
+  while (!expr.empty() && expr.back() == ')') {
+    // Strip one balanced trailing (...) group.
+    int depth = 0;
+    size_t i = expr.size();
+    while (i > 0) {
+      --i;
+      if (expr[i] == ')') ++depth;
+      if (expr[i] == '(') {
+        --depth;
+        if (depth == 0) break;
+      }
+    }
+    if (depth != 0) return "";
+    // `SortedKeys(m)` → keep the callee name; `m.loops()` → strip parens.
+    expr = Trim(expr.substr(0, i));
+  }
+  size_t end = expr.size();
+  while (end > 0 && !IsIdentChar(expr[end - 1])) --end;
+  size_t begin = end;
+  while (begin > 0 && IsIdentChar(expr[begin - 1])) --begin;
+  return expr.substr(begin, end - begin);
+}
+
+void CheckUnorderedIteration(const SourceFile& f,
+                             const std::set<std::string>& unordered,
+                             Linter* lint) {
+  if (!TouchesNetwork(f)) return;
+  for (size_t pos : FindWord(f.code, "for")) {
+    size_t open = pos + 3;
+    while (open < f.code.size() &&
+           std::isspace(static_cast<unsigned char>(f.code[open])) != 0) {
+      ++open;
+    }
+    if (open >= f.code.size() || f.code[open] != '(') continue;
+    int depth = 0;
+    size_t close = open;
+    for (; close < f.code.size(); ++close) {
+      if (f.code[close] == '(') ++depth;
+      if (f.code[close] == ')') {
+        --depth;
+        if (depth == 0) break;
+      }
+    }
+    if (close >= f.code.size()) continue;
+    const std::string head = f.code.substr(open + 1, close - open - 1);
+    // Top-level single ':' (not '::') marks a range-for.
+    size_t colon = std::string::npos;
+    int d = 0;
+    for (size_t i = 0; i < head.size(); ++i) {
+      const char c = head[i];
+      if (c == '(' || c == '<' || c == '[') ++d;
+      if (c == ')' || c == '>' || c == ']') --d;
+      if (c == ':' && d == 0) {
+        if ((i > 0 && head[i - 1] == ':') ||
+            (i + 1 < head.size() && head[i + 1] == ':')) {
+          continue;
+        }
+        colon = i;
+        break;
+      }
+    }
+    if (colon == std::string::npos) continue;
+    const std::string symbol = RangeSymbol(head.substr(colon + 1));
+    if (symbol.empty() || unordered.count(symbol) == 0) continue;
+    lint->Report(f, pos, "DET-003",
+                 "range-for over unordered container `" + symbol +
+                 "` in a file that sends protocol messages; iteration "
+                 "order is hash-layout-dependent");
+  }
+}
+
+// --- DET-004: pointer-keyed ordered containers. ---
+
+void CheckPointerKeys(const SourceFile& f, Linter* lint) {
+  for (const char* type : {"map", "set", "multimap", "multiset"}) {
+    for (size_t pos : FindWord(f.code, type)) {
+      size_t i = pos + std::string(type).size();
+      if (i >= f.code.size() || f.code[i] != '<') continue;
+      // First template argument at depth 1.
+      int depth = 0;
+      std::string key;
+      for (; i < f.code.size(); ++i) {
+        const char c = f.code[i];
+        if (c == '<') {
+          ++depth;
+          if (depth == 1) continue;
+        }
+        if (c == '>') {
+          --depth;
+          if (depth == 0) break;
+        }
+        if (c == ',' && depth == 1) break;
+        if (depth >= 1) key.push_back(c);
+      }
+      if (key.find('*') != std::string::npos) {
+        lint->Report(f, pos, "DET-004",
+                     "ordered container keyed by pointer `" + Trim(key) +
+                     "`; ordering follows allocation addresses");
+      }
+    }
+  }
+}
+
+// --- SER-001: serde registry coverage. ---
+
+void CheckSerdeRegistry(const std::vector<SourceFile>& files, Linter* lint) {
+  const SourceFile* messages = nullptr;
+  std::set<std::string> registered;
+  for (const SourceFile& f : files) {
+    if (f.path.size() >= 15 &&
+        f.path.rfind("core/messages.h") ==
+            f.path.size() - std::string("core/messages.h").size()) {
+      messages = &f;
+    }
+    const std::string macro = "TORNADO_MESSAGE_SERDE";
+    for (size_t pos : FindWord(f.code, macro)) {
+      size_t open = pos + macro.size();
+      if (open < f.code.size() && f.code[open] == '(') {
+        size_t close = f.code.find(')', open);
+        if (close != std::string::npos) {
+          registered.insert(Trim(f.code.substr(open + 1, close - open - 1)));
+        }
+      }
+    }
+  }
+  if (messages == nullptr) return;
+
+  for (size_t pos : FindWord(messages->code, "struct")) {
+    size_t i = pos + 6;
+    while (i < messages->code.size() &&
+           std::isspace(static_cast<unsigned char>(messages->code[i])) != 0) {
+      ++i;
+    }
+    size_t name_end = i;
+    while (name_end < messages->code.size() &&
+           IsIdentChar(messages->code[name_end])) {
+      ++name_end;
+    }
+    const std::string name = messages->code.substr(i, name_end - i);
+    if (name.empty()) continue;
+    // Only structs deriving from Payload are wire messages.
+    const size_t brace = messages->code.find('{', name_end);
+    if (brace == std::string::npos) continue;
+    const std::string between =
+        messages->code.substr(name_end, brace - name_end);
+    if (between.find(':') == std::string::npos ||
+        between.find("Payload") == std::string::npos) {
+      continue;
+    }
+    if (registered.count(name) == 0) {
+      lint->Report(*messages, pos, "SER-001",
+                   "wire message `" + name + "` is not registered with "
+                   "TORNADO_MESSAGE_SERDE and cannot round-trip");
+    }
+  }
+}
+
+// --- Driver. ---
+
+void CollectPaths(const std::string& root, std::vector<std::string>* out) {
+  static const std::set<std::string> kExts = {".h", ".hpp", ".cc", ".cpp",
+                                              ".cxx"};
+  fs::path p(root);
+  if (fs::is_regular_file(p)) {
+    out->push_back(p.generic_string());
+    return;
+  }
+  if (!fs::is_directory(p)) return;
+  for (const auto& entry : fs::recursive_directory_iterator(p)) {
+    if (!entry.is_regular_file()) continue;
+    if (kExts.count(entry.path().extension().string()) == 0) continue;
+    out->push_back(entry.path().generic_string());
+  }
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool fix_hints = false;
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--fix-hints") {
+      fix_hints = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: tornado_lint [--json] [--fix-hints] [path...]\n";
+      for (const RuleInfo& r : kRules) {
+        std::cout << "  " << r.id << "  " << r.description << "\n";
+      }
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return 2;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) roots.push_back("src");
+
+  std::vector<std::string> paths;
+  for (const std::string& root : roots) CollectPaths(root, &paths);
+  if (paths.empty()) {
+    std::cerr << "tornado_lint: no sources under given paths\n";
+    return 2;
+  }
+  std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+
+  std::vector<SourceFile> files;
+  files.reserve(paths.size());
+  for (const std::string& p : paths) files.push_back(LoadFile(p));
+
+  Linter lint;
+  const std::set<std::string> unordered = CollectUnorderedSymbols(files);
+  for (const SourceFile& f : files) {
+    CheckWallClock(f, &lint);
+    CheckRandom(f, &lint);
+    CheckUnorderedIteration(f, unordered, &lint);
+    CheckPointerKeys(f, &lint);
+  }
+  CheckSerdeRegistry(files, &lint);
+
+  std::stable_sort(lint.findings().begin(), lint.findings().end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     if (a.line != b.line) return a.line < b.line;
+                     return a.rule < b.rule;
+                   });
+
+  int unsuppressed = 0;
+  int suppressed = 0;
+  for (const Finding& f : lint.findings()) {
+    f.suppressed ? ++suppressed : ++unsuppressed;
+  }
+
+  if (json) {
+    std::cout << "{\n  \"findings\": [";
+    bool first = true;
+    for (const Finding& f : lint.findings()) {
+      std::cout << (first ? "\n" : ",\n");
+      first = false;
+      std::cout << "    {\"file\": \"" << JsonEscape(f.file)
+                << "\", \"line\": " << f.line << ", \"rule\": \"" << f.rule
+                << "\", \"message\": \"" << JsonEscape(f.message)
+                << "\", \"hint\": \"" << JsonEscape(f.hint)
+                << "\", \"suppressed\": " << (f.suppressed ? "true" : "false")
+                << ", \"reason\": \"" << JsonEscape(f.reason) << "\"}";
+    }
+    std::cout << "\n  ],\n";
+    std::cout << "  \"files_scanned\": " << files.size() << ",\n";
+    std::cout << "  \"unsuppressed\": " << unsuppressed << ",\n";
+    std::cout << "  \"suppressed\": " << suppressed << "\n}\n";
+  } else {
+    for (const Finding& f : lint.findings()) {
+      if (f.suppressed) continue;
+      std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+                << f.message << "\n";
+      if (fix_hints && !f.hint.empty()) {
+        std::cout << "    hint: " << f.hint << "\n";
+      }
+    }
+    std::cout << "tornado_lint: " << files.size() << " files, "
+              << unsuppressed << " finding(s), " << suppressed
+              << " suppressed\n";
+  }
+  return unsuppressed == 0 ? 0 : 1;
+}
