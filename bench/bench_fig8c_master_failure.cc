@@ -16,6 +16,8 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "stream/graph_stream.h"
+#include "trace/time_series.h"
+#include "trace/trace_recorder.h"
 
 namespace tornado {
 namespace bench {
@@ -26,16 +28,26 @@ constexpr double kBucket = 0.05;    // sampling bucket (s)
 constexpr double kKillAfter = 0.05;  // after the branch starts
 constexpr double kDowntime = 1.5;
 
-std::vector<int64_t> RunBound(uint64_t bound, double* kill_time) {
+/// One bound's run; artifact/JSON handling mirrors the fig 8d bench.
+std::vector<int64_t> RunBound(uint64_t bound, double* kill_time,
+                              const BenchArgs* artifacts, BenchJson* json) {
   JobConfig config = SsspJob(bound, /*batch_mode=*/true);
   TornadoCluster cluster(config,
                          std::make_unique<GraphStream>(BenchGraph(kTuples)));
+  const bool want_trace =
+      artifacts != nullptr &&
+      (artifacts->WantsTrace() || !artifacts->series_path.empty());
+  if (want_trace) {
+    cluster.EnableTracing();
+    cluster.trace()->Pause();  // skip the warmup, trace the failure window
+  }
   cluster.Start();
   std::vector<int64_t> updates_per_bucket;
   if (!cluster.RunUntilEmitted(kTuples / 2, 3000.0)) return updates_per_bucket;
   cluster.ingester().Pause();
   cluster.RunFor(0.5);
 
+  if (want_trace) cluster.trace()->Resume();
   (void)cluster.ingester().SubmitQuery();
   cluster.RunFor(kKillAfter);
   *kill_time = kKillAfter;
@@ -54,20 +66,46 @@ std::vector<int64_t> RunBound(uint64_t bound, double* kill_time) {
     updates_per_bucket.push_back(now - previous);
     previous = now;
   }
+
+  if (want_trace) {
+    cluster.trace()->Pause();
+    if (artifacts->WantsTrace()) {
+      cluster.trace()->WriteChromeTraceFile(artifacts->trace_path);
+    }
+    if (!artifacts->series_path.empty()) {
+      cluster.sampler()->WriteCsvFile(artifacts->series_path);
+    }
+  }
+  if (json != nullptr) {
+    json->SetVirtualSeconds(cluster.loop().now());
+    json->AddMetrics(cluster.network().metrics());
+  }
   return updates_per_bucket;
 }
 
-void Run() {
+void Run(const BenchArgs& args) {
   PrintHeader("Branch-loop update rate around a master failure",
               "Figure 8c");
   std::printf(
       "master killed %.1fs after the branch starts, recovers %.1fs later\n\n",
       kKillAfter, kDowntime);
 
+  BenchJson json("fig8c_master_failure");
+  json.AddKnob("tuples", static_cast<double>(kTuples));
+  json.AddKnob("kill_after_seconds", kKillAfter);
+  json.AddKnob("downtime_seconds", kDowntime);
+  json.AddKnob("traced_bound", 16.0);
+
   double kill_time = 0.0;
   std::vector<std::vector<int64_t>> series;
   for (uint64_t bound : {1u, 16u, 65536u}) {
-    series.push_back(RunBound(bound, &kill_time));
+    const bool traced = bound == 16u;
+    series.push_back(RunBound(bound, &kill_time, traced ? &args : nullptr,
+                              traced ? &json : nullptr));
+    int64_t total = 0;
+    for (int64_t u : series.back()) total += u;
+    json.AddResult("updates_total_b" + std::to_string(bound),
+                   static_cast<double>(total));
   }
 
   Table table({"t since kill (s)", "B=1 (upd/s)", "B=16 (upd/s)",
@@ -84,14 +122,16 @@ void Run() {
                   cell(0), cell(1), cell(2)});
   }
   table.Print();
+
+  if (!args.json_path.empty()) json.WriteFile(args.json_path);
 }
 
 }  // namespace
 }  // namespace bench
 }  // namespace tornado
 
-int main() {
+int main(int argc, char** argv) {
   tornado::SetLogLevel(tornado::LogLevel::kWarning);
-  tornado::bench::Run();
+  tornado::bench::Run(tornado::bench::ParseBenchArgs(argc, argv));
   return 0;
 }

@@ -18,6 +18,8 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "stream/graph_stream.h"
+#include "trace/time_series.h"
+#include "trace/trace_recorder.h"
 
 namespace tornado {
 namespace bench {
@@ -28,16 +30,28 @@ constexpr double kBucket = 0.02;
 constexpr double kKillAfter = 0.05;
 constexpr double kDowntime = 1.5;
 
-std::vector<int64_t> RunBound(uint64_t bound) {
+/// One bound's run. When `artifacts` asks for them, the failure window is
+/// traced (warmup excluded so the interesting events fit the recorder) and
+/// exported; `json`, when given, receives the run's counters and times.
+std::vector<int64_t> RunBound(uint64_t bound, const BenchArgs* artifacts,
+                              BenchJson* json) {
   JobConfig config = SsspJob(bound, /*batch_mode=*/true);
   TornadoCluster cluster(config,
                          std::make_unique<GraphStream>(BenchGraph(kTuples)));
+  const bool want_trace =
+      artifacts != nullptr &&
+      (artifacts->WantsTrace() || !artifacts->series_path.empty());
+  if (want_trace) {
+    cluster.EnableTracing();
+    cluster.trace()->Pause();  // skip the warmup, trace the failure window
+  }
   cluster.Start();
   std::vector<int64_t> updates_per_bucket;
   if (!cluster.RunUntilEmitted(kTuples / 2, 3000.0)) return updates_per_bucket;
   cluster.ingester().Pause();
   cluster.RunFor(0.5);
 
+  if (want_trace) cluster.trace()->Resume();
   (void)cluster.ingester().SubmitQuery();
   cluster.RunFor(kKillAfter);
   cluster.network().KillNode(cluster.processor_node(2));
@@ -55,10 +69,24 @@ std::vector<int64_t> RunBound(uint64_t bound) {
     updates_per_bucket.push_back(now - previous);
     previous = now;
   }
+
+  if (want_trace) {
+    cluster.trace()->Pause();
+    if (artifacts->WantsTrace()) {
+      cluster.trace()->WriteChromeTraceFile(artifacts->trace_path);
+    }
+    if (!artifacts->series_path.empty()) {
+      cluster.sampler()->WriteCsvFile(artifacts->series_path);
+    }
+  }
+  if (json != nullptr) {
+    json->SetVirtualSeconds(cluster.loop().now());
+    json->AddMetrics(cluster.network().metrics());
+  }
   return updates_per_bucket;
 }
 
-void Run() {
+void Run(const BenchArgs& args) {
   PrintHeader("Branch-loop update rate around a processor failure",
               "Figure 8d");
   std::printf(
@@ -66,9 +94,23 @@ void Run() {
       "%.1fs later\n\n",
       kKillAfter, kDowntime);
 
+  BenchJson json("fig8d_processor_failure");
+  json.AddKnob("tuples", static_cast<double>(kTuples));
+  json.AddKnob("kill_after_seconds", kKillAfter);
+  json.AddKnob("downtime_seconds", kDowntime);
+  json.AddKnob("traced_bound", 16.0);
+
+  // The middle bound is the paper's headline curve; it carries the trace
+  // and the JSON counters.
   std::vector<std::vector<int64_t>> series;
   for (uint64_t bound : {1u, 16u, 65536u}) {
-    series.push_back(RunBound(bound));
+    const bool traced = bound == 16u;
+    series.push_back(RunBound(bound, traced ? &args : nullptr,
+                              traced ? &json : nullptr));
+    int64_t total = 0;
+    for (int64_t u : series.back()) total += u;
+    json.AddResult("updates_total_b" + std::to_string(bound),
+                   static_cast<double>(total));
   }
 
   Table table({"t since kill (s)", "B=1 (upd/s)", "B=16 (upd/s)",
@@ -85,14 +127,16 @@ void Run() {
                   cell(1), cell(2)});
   }
   table.Print();
+
+  if (!args.json_path.empty()) json.WriteFile(args.json_path);
 }
 
 }  // namespace
 }  // namespace bench
 }  // namespace tornado
 
-int main() {
+int main(int argc, char** argv) {
   tornado::SetLogLevel(tornado::LogLevel::kWarning);
-  tornado::bench::Run();
+  tornado::bench::Run(tornado::bench::ParseBenchArgs(argc, argv));
   return 0;
 }

@@ -1,10 +1,145 @@
 #include "bench/bench_util.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cinttypes>
+#include <fstream>
+#include <sstream>
 
 namespace tornado {
 namespace bench {
+
+namespace {
+// Wall-clock stamping lives in bench/ only; src/ stays wall-clock-free
+// (DET-001) so simulation results never depend on host speed.
+double WallSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string JsonNum(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+}  // namespace
+
+BenchArgs ParseBenchArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i + 1 < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--json") {
+      args.json_path = argv[++i];
+    } else if (flag == "--trace-out") {
+      args.trace_path = argv[++i];
+    } else if (flag == "--series-out") {
+      args.series_path = argv[++i];
+    }
+  }
+  return args;
+}
+
+BenchJson::BenchJson(std::string bench)
+    : bench_(std::move(bench)), start_wall_(WallSeconds()) {}
+
+void BenchJson::AddKnob(const std::string& key, double value) {
+  knobs_[key] = value;
+}
+
+void BenchJson::AddKnob(const std::string& key, const std::string& value) {
+  string_knobs_[key] = value;
+}
+
+void BenchJson::AddResult(const std::string& key, double value) {
+  results_[key] = value;
+}
+
+void BenchJson::AddHistogram(const std::string& key,
+                             const Histogram& histogram) {
+  HistogramRow row;
+  row.count = histogram.count();
+  if (row.count > 0) {
+    row.min = histogram.min();
+    row.max = histogram.max();
+    row.mean = histogram.Mean();
+    row.p50 = histogram.Percentile(50.0);
+    row.p95 = histogram.Percentile(95.0);
+  }
+  histograms_[key] = row;
+}
+
+void BenchJson::AddMetrics(const MetricRegistry& metrics) {
+  for (const auto& [name, value] : metrics.counters()) {
+    counters_[name] = value;
+  }
+  for (const auto& [name, hist] : metrics.histograms()) {
+    if (hist.count() > 0) AddHistogram(name, hist);
+  }
+}
+
+std::string BenchJson::ToJson() const {
+  std::ostringstream os;
+  os << "{\"bench\":\"" << JsonEscape(bench_) << "\",\n";
+  os << " \"knobs\":{";
+  bool first = true;
+  for (const auto& [key, value] : string_knobs_) {
+    os << (first ? "" : ",") << "\"" << JsonEscape(key) << "\":\""
+       << JsonEscape(value) << "\"";
+    first = false;
+  }
+  for (const auto& [key, value] : knobs_) {
+    os << (first ? "" : ",") << "\"" << JsonEscape(key)
+       << "\":" << JsonNum(value);
+    first = false;
+  }
+  os << "},\n";
+  os << " \"wall_seconds\":" << JsonNum(WallSeconds() - start_wall_) << ",\n";
+  os << " \"virtual_seconds\":" << JsonNum(virtual_seconds_) << ",\n";
+  os << " \"counters\":{";
+  first = true;
+  for (const auto& [name, value] : counters_) {
+    os << (first ? "" : ",") << "\"" << JsonEscape(name) << "\":" << value;
+    first = false;
+  }
+  os << "},\n";
+  os << " \"histograms\":{";
+  first = true;
+  for (const auto& [name, row] : histograms_) {
+    os << (first ? "" : ",") << "\"" << JsonEscape(name)
+       << "\":{\"count\":" << row.count << ",\"min\":" << JsonNum(row.min)
+       << ",\"max\":" << JsonNum(row.max) << ",\"mean\":" << JsonNum(row.mean)
+       << ",\"p50\":" << JsonNum(row.p50) << ",\"p95\":" << JsonNum(row.p95)
+       << "}";
+    first = false;
+  }
+  os << "},\n";
+  os << " \"results\":{";
+  first = true;
+  for (const auto& [key, value] : results_) {
+    os << (first ? "" : ",") << "\"" << JsonEscape(key)
+       << "\":" << JsonNum(value);
+    first = false;
+  }
+  os << "}}\n";
+  return os.str();
+}
+
+bool BenchJson::WriteFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.is_open()) return false;
+  out << ToJson();
+  return out.good();
+}
 
 Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
 
@@ -166,7 +301,11 @@ JobConfig SgdJob(SgdLoss loss, uint64_t delay_bound, double descent_rate,
 double MeasureQueryLatency(TornadoCluster& cluster, double timeout) {
   const uint64_t query = cluster.ingester().SubmitQuery();
   if (!cluster.RunUntilQueryDone(query, timeout)) return -1.0;
-  return cluster.QueryLatency(query);
+  const double latency = cluster.QueryLatency(query);
+  if (latency >= 0.0) {
+    cluster.network().metrics().Observe(metric::kQueryLatency, latency);
+  }
+  return latency;
 }
 
 namespace {

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -60,7 +61,69 @@ JobConfig SgdJob(SgdLoss loss, uint64_t delay_bound, double descent_rate,
 
 /// Runs the cluster until `count` tuples are ingested, then submits a
 /// query and returns its latency (virtual seconds), or -1 on timeout.
+/// The latency is also observed into the cluster's
+/// metric::kQueryLatency distribution so bench JSON reports p50/p95/max.
 double MeasureQueryLatency(TornadoCluster& cluster, double timeout = 3000.0);
+
+/// Common bench command-line flags (docs/OBSERVABILITY.md):
+///   --json <path>        machine-readable run result (JSON)
+///   --trace-out <path>   Chrome trace-event JSON of the traced window
+///   --series-out <path>  sampler time-series CSV
+/// Unknown arguments are ignored so benches stay drop-in runnable.
+struct BenchArgs {
+  std::string json_path;
+  std::string trace_path;
+  std::string series_path;
+
+  bool WantsTrace() const { return !trace_path.empty(); }
+};
+BenchArgs ParseBenchArgs(int argc, char** argv);
+
+/// Accumulates one bench run's machine-readable result and writes it as a
+/// single JSON object:
+///
+///   {"bench": "...", "knobs": {...}, "wall_seconds": W,
+///    "virtual_seconds": V, "counters": {...},
+///    "histograms": {"name": {"count": n, "min": ..., "max": ...,
+///                            "mean": ..., "p50": ..., "p95": ...}},
+///    "results": {...}}
+///
+/// Knobs are the configuration the run was parameterized by, results the
+/// measured outputs; both are flat string->number maps (plus string-valued
+/// knobs). Wall time is stamped at WriteFile; virtual time, counters and
+/// histograms are whatever the bench recorded. Schema documented in
+/// docs/OBSERVABILITY.md.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench);
+
+  void AddKnob(const std::string& key, double value);
+  void AddKnob(const std::string& key, const std::string& value);
+  void AddResult(const std::string& key, double value);
+  void AddHistogram(const std::string& key, const Histogram& histogram);
+  void SetVirtualSeconds(double seconds) { virtual_seconds_ = seconds; }
+
+  /// Snapshots every counter and distribution of `metrics`.
+  void AddMetrics(const MetricRegistry& metrics);
+
+  std::string ToJson() const;
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  struct HistogramRow {
+    uint64_t count = 0;
+    double min = 0.0, max = 0.0, mean = 0.0, p50 = 0.0, p95 = 0.0;
+  };
+
+  std::string bench_;
+  double start_wall_;  // seconds, process clock
+  double virtual_seconds_ = 0.0;
+  std::map<std::string, double> knobs_;
+  std::map<std::string, std::string> string_knobs_;
+  std::map<std::string, double> results_;
+  std::map<std::string, int64_t> counters_;
+  std::map<std::string, HistogramRow> histograms_;
+};
 
 /// Factory for the (identically-seeded) input stream of one run.
 using StreamFactory = std::function<std::unique_ptr<StreamSource>()>;

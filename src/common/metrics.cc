@@ -12,6 +12,12 @@ std::string MetricRegistry::ToString() const {
     os << name << "=" << value;
     first = false;
   }
+  for (const auto& [name, hist] : histograms_) {
+    if (hist.count() == 0) continue;
+    if (!first) os << " ";
+    os << name << "{" << hist.ToString() << "}";
+    first = false;
+  }
   return os.str();
 }
 

@@ -5,13 +5,17 @@
 #include <map>
 #include <string>
 
+#include "common/histogram.h"
+
 namespace tornado {
 
-/// A flat bag of named counters. The engine components (transport, session
-/// layer, master) account their work here; benchmarks read the counters to
-/// report the paper's "#Updates", "#Prepares" and "#Messages Per Second"
-/// columns. Not thread-safe: the simulated cluster is single-threaded by
-/// construction.
+/// A flat bag of named counters plus named sample distributions. The
+/// engine components (transport, session layer, master) account their work
+/// here; benchmarks read the counters to report the paper's "#Updates",
+/// "#Prepares" and "#Messages Per Second" columns, and the trace layer /
+/// benches feed distributions (query latency, commit staleness) whose
+/// p50/p95/max land in the machine-readable bench output. Not thread-safe:
+/// the simulated cluster is single-threaded by construction.
 class MetricRegistry {
  public:
   void Inc(const std::string& name, int64_t delta = 1) {
@@ -30,16 +34,38 @@ class MetricRegistry {
   /// instead of erasing them).
   int64_t& CounterHandle(const std::string& name) { return counters_[name]; }
 
+  /// Records one sample into the named distribution.
+  void Observe(const std::string& name, double value) {
+    histograms_[name].Add(value);
+  }
+
+  /// Pre-resolved distribution handle; same lifetime contract as
+  /// CounterHandle (Reset clears samples in place, nodes are stable).
+  Histogram& HistogramHandle(const std::string& name) {
+    return histograms_[name];
+  }
+
+  /// The named distribution, or nullptr when nothing was observed.
+  const Histogram* GetHistogram(const std::string& name) const {
+    auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : &it->second;
+  }
+
   void Reset() {
     for (auto& [name, value] : counters_) value = 0;
+    for (auto& [name, hist] : histograms_) hist.Clear();
   }
 
   const std::map<std::string, int64_t>& counters() const { return counters_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
 
   std::string ToString() const;
 
  private:
   std::map<std::string, int64_t> counters_;
+  std::map<std::string, Histogram> histograms_;
 };
 
 /// Well-known metric names shared between the engine and the benches.
@@ -55,6 +81,10 @@ inline constexpr const char kVersionsFlushed[] = "versions_flushed";
 inline constexpr const char kInputsGathered[] = "inputs_gathered";
 inline constexpr const char kUpdatesBlocked[] = "updates_blocked_at_bound";
 inline constexpr const char kIterationsTerminated[] = "iterations_terminated";
+
+// Distribution names (MetricRegistry::Observe).
+inline constexpr const char kQueryLatency[] = "query_latency_seconds";
+inline constexpr const char kCommitStaleness[] = "commit_staleness_iters";
 }  // namespace metric
 
 }  // namespace tornado

@@ -1,9 +1,13 @@
 #include "core/cluster.h"
 
 #include <algorithm>
+#include <string>
 
 #include "common/logging.h"
 #include "common/serde.h"
+#include "trace/time_series.h"
+#include "trace/trace_observer.h"
+#include "trace/trace_recorder.h"
 
 namespace tornado {
 
@@ -58,9 +62,89 @@ TornadoCluster::TornadoCluster(JobConfig config,
                                          partitioner, /*first_processor=*/0,
                                          master_id);
   network_->RegisterNode(ingester_.get(), /*host=*/config_.num_hosts + 1);
+
+#ifdef TORNADO_TRACE
+  // Traced builds wire the recorder into every cluster but keep it paused
+  // so the ordinary test suite does not accumulate events; callers (and
+  // the fig 8c/8d failure benches) resume it via EnableTracing().
+  EnableTracing();
+  trace_recorder_->Pause();
+#endif
 }
 
 TornadoCluster::~TornadoCluster() = default;
+
+TraceRecorder* TornadoCluster::EnableTracing() {
+  if (trace_recorder_ != nullptr) {
+    trace_recorder_->Resume();
+    return trace_recorder_.get();
+  }
+  trace_recorder_ = std::make_unique<TraceRecorder>(&loop_);
+
+  // Track layout mirrors the node ids; one extra pseudo-track carries the
+  // cluster-wide sampler counters and events without an owning node.
+  const uint32_t cluster_track = config_.num_processors + 2;
+  for (uint32_t p = 0; p < config_.num_processors; ++p) {
+    trace_recorder_->SetTrackName(p, "processor " + std::to_string(p));
+  }
+  trace_recorder_->SetTrackName(master_node(), "master");
+  trace_recorder_->SetTrackName(ingester_node(), "ingester");
+  trace_recorder_->SetTrackName(cluster_track, "cluster");
+
+  trace_observer_ = std::make_unique<TraceObserver>(
+      trace_recorder_.get(), HashPartitioner(config_.num_processors),
+      /*fallback_track=*/cluster_track, &network_->metrics());
+  engine_observers_.Add(trace_observer_.get());
+  network_->set_observer(trace_observer_.get());
+  master_->set_trace(trace_recorder_.get());
+
+  trace_sampler_ =
+      std::make_unique<TimeSeriesSampler>(&loop_, /*period=*/0.05);
+  trace_sampler_->AddProbe("commit_watermark", [this]() {
+    const Iteration t = master_->LastTerminated(kMainLoop);
+    return t == kNoIteration ? 0.0 : static_cast<double>(t);
+  });
+  trace_sampler_->AddProbe("staleness_spread", [this]() {
+    // Widest lead of any committed vertex over its loop's watermark: how
+    // far ahead the bound lets the fastest partition run (Section 4.4).
+    double spread = 0.0;
+    for (const auto& proc : processors_) {
+      const LoopState* ls = proc->sessions().Get(kMainLoop);
+      if (ls == nullptr) continue;
+      for (auto it = ls->vertices.begin(); it != ls->vertices.end(); ++it) {
+        const VertexSession& s = it->second;
+        if (s.last_commit == kNoIteration || s.last_commit < ls->tau) {
+          continue;
+        }
+        spread =
+            std::max(spread, static_cast<double>(s.last_commit - ls->tau));
+      }
+    }
+    return spread;
+  });
+  trace_sampler_->AddProbe("queue_depth", [this]() {
+    // Updates the session tables are sitting on: bound-blocked buffers
+    // plus inputs deferred behind an open prepare.
+    double depth = 0.0;
+    for (const auto& proc : processors_) {
+      const LoopState* ls = proc->sessions().Get(kMainLoop);
+      if (ls == nullptr) continue;
+      for (auto it = ls->blocked.begin(); it != ls->blocked.end(); ++it) {
+        depth += static_cast<double>(it->second.size());
+      }
+      for (auto it = ls->vertices.begin(); it != ls->vertices.end(); ++it) {
+        depth += static_cast<double>(it->second.pending_inputs.size());
+      }
+    }
+    return depth;
+  });
+  trace_sampler_->AddProbe("in_flight_messages", [this]() {
+    return static_cast<double>(network_->InFlightCount());
+  });
+  trace_sampler_->set_recorder(trace_recorder_.get(), cluster_track);
+  trace_sampler_->Start();
+  return trace_recorder_.get();
+}
 
 void TornadoCluster::DeepCheckInvariants() {
   if (check_observer_ == nullptr) return;

@@ -20,6 +20,10 @@
 
 namespace tornado {
 
+class TraceRecorder;
+class TraceObserver;
+class TimeSeriesSampler;
+
 /// The public entry point of the library: assembles a complete simulated
 /// Tornado deployment (ingester + processors + master + shared versioned
 /// store on a host/NIC topology) for one job, and provides driving and
@@ -105,6 +109,21 @@ class TornadoCluster {
   /// -DTORNADO_CHECK=ON).
   CheckObserver* check_observer() { return check_observer_.get(); }
 
+  /// Attaches the causal trace subsystem (docs/OBSERVABILITY.md): a
+  /// TraceRecorder fed by engine, network, and master hooks, plus a
+  /// TimeSeriesSampler snapshotting cluster health every few virtual
+  /// milliseconds. Idempotent; always resumes a paused recorder (the
+  /// -DTORNADO_TRACE=ON auto-attach starts paused). Call before Start()
+  /// to capture the whole run. Returns the recorder.
+  TraceRecorder* EnableTracing();
+
+  /// The attached trace recorder (nullptr until EnableTracing, unless
+  /// the build has -DTORNADO_TRACE=ON).
+  TraceRecorder* trace() { return trace_recorder_.get(); }
+
+  /// The attached progress sampler (nullptr until EnableTracing).
+  TimeSeriesSampler* sampler() { return trace_sampler_.get(); }
+
   /// Runs the checker's structural pass over every processor's sessions.
   /// No-op when no checker is attached. Call between dispatches only
   /// (e.g. after RunUntil returns).
@@ -118,6 +137,11 @@ class TornadoCluster {
   EngineObserverList engine_observers_;
   std::unique_ptr<MetricsEngineObserver> metrics_observer_;
   std::unique_ptr<CheckObserver> check_observer_;
+  // Declaration order matters: the observer and sampler hold raw pointers
+  // into the recorder, so the recorder must be destroyed last of the three.
+  std::unique_ptr<TraceRecorder> trace_recorder_;
+  std::unique_ptr<TraceObserver> trace_observer_;
+  std::unique_ptr<TimeSeriesSampler> trace_sampler_;
   std::vector<std::unique_ptr<Processor>> processors_;
   std::unique_ptr<Master> master_;
   std::unique_ptr<Ingester> ingester_;

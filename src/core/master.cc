@@ -7,6 +7,7 @@
 #include "common/metrics.h"
 #include "common/ordered.h"
 #include "common/serde.h"
+#include "trace/trace_recorder.h"
 
 namespace tornado {
 
@@ -34,6 +35,9 @@ Master::Master(const JobConfig* config, VersionedStore* store,
 }
 
 void Master::OnRestart() {
+  if (trace_ != nullptr) {
+    trace_->Instant(trace_cat::kMaster, "master_restart", id());
+  }
   // In-memory control state is gone; reload the journal (Section 5.3).
   loops_.clear();
   queries_.clear();
@@ -112,6 +116,10 @@ void Master::RecoverAfterProcessorFailure() {
       store_->TruncateAfter(lc.loop, lc.last_terminated);
     }
     AddCost(config_->cost.flush_base_cost);
+    if (trace_ != nullptr) {
+      trace_->Instant(trace_cat::kMaster, "recovery_rollback", id(),
+                      {{"loop", lc.loop}, {"epoch", lc.epoch}});
+    }
 
     auto restart = std::make_shared<RestartLoopMsg>();
     restart->loop = lc.loop;
@@ -277,6 +285,10 @@ void Master::Terminate(LoopControl& lc, Iteration upto) {
   lc.last_terminated = upto;
   lc.has_fingerprint = false;
   network()->metrics().Inc(metric::kIterationsTerminated);
+  if (trace_ != nullptr) {
+    trace_->Instant(trace_cat::kMaster, "terminate", id(),
+                    {{"loop", lc.loop}, {"upto", upto}});
+  }
   // History below the last terminated iteration can never be forked from
   // or rolled back to again; garbage-collect it.
   if (upto > 0) store_->PruneBelow(lc.loop, upto - 1);
@@ -351,6 +363,10 @@ void Master::CheckConvergence(LoopControl& lc, Iteration newly_from) {
 
 void Master::OnLoopConverged(LoopControl& lc) {
   lc.converged = true;
+  if (trace_ != nullptr) {
+    trace_->Instant(trace_cat::kMaster, "loop_converged", id(),
+                    {{"loop", lc.loop}, {"iteration", lc.last_terminated}});
+  }
   TLOG_INFO << "branch loop " << lc.loop << " converged at iteration "
             << lc.last_terminated << " (t=" << now() << ")";
 
@@ -398,6 +414,10 @@ void Master::MergeBranch(LoopControl& branch) {
       main.last_terminated == kNoIteration ? 0 : main.last_terminated + 1;
   const Iteration merge_iteration = policy_->MergeIteration(tau);
   store_->MergeLoop(branch.loop, kMainLoop, merge_iteration);
+  if (trace_ != nullptr) {
+    trace_->Instant(trace_cat::kMaster, "merge_branch", id(),
+                    {{"branch", branch.loop}, {"at", merge_iteration}});
+  }
   auto adopt = std::make_shared<AdoptMergeMsg>();
   adopt->loop = kMainLoop;
   adopt->epoch = main.epoch;
@@ -459,6 +479,12 @@ void Master::ForkBranchFor(uint64_t query_id, double submit_time) {
       main.last_terminated == kNoIteration ? 0 : main.last_terminated;
   store_->ForkLoop(kMainLoop, snapshot, branch_id);
   AddCost(config_->cost.flush_base_cost);
+  if (trace_ != nullptr) {
+    trace_->Instant(trace_cat::kMaster, "fork_branch", id(),
+                    {{"query", query_id},
+                     {"branch", branch_id},
+                     {"snapshot", snapshot}});
+  }
 
   LoopControl lc;
   lc.loop = branch_id;

@@ -15,6 +15,8 @@
 
 namespace tornado {
 
+class TraceRecorder;
+
 /// Statistics recorded when an iteration terminates; the benches read these
 /// to reproduce Table 2 and Figure 8a.
 struct IterationStat {
@@ -72,6 +74,11 @@ class Master : public Node {
   /// Logs the termination-detector view of a loop (debugging aid).
   void DumpTermination(LoopId loop) const;
 
+  /// Subscribes a trace recorder to master decisions (loop forks,
+  /// termination, convergence, merges, recovery rollbacks). Pass nullptr
+  /// to detach. The recorder must outlive the master.
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+
  private:
   struct LoopControl {
     LoopId loop = 0;
@@ -126,6 +133,7 @@ class Master : public Node {
   std::vector<std::pair<uint64_t, double>> admission_queue_;
   LoopId next_branch_id_ = 1;
   bool recovery_pending_ = false;
+  TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace tornado

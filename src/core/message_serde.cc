@@ -376,6 +376,9 @@ bool SerializeMessage(const Payload& msg, BufferWriter* writer) {
   auto it = reg.by_type.find(std::type_index(typeid(msg)));
   if (it == reg.by_type.end()) return false;
   writer->PutU8(it->second);
+  // Envelope: the trace cause_id lives on the Payload base, so it is
+  // encoded once here rather than in every per-message body.
+  writer->PutVarint(msg.cause_id);
   reg.entries[it->second].serialize(msg, writer);
   return true;
 }
@@ -383,9 +386,13 @@ bool SerializeMessage(const Payload& msg, BufferWriter* writer) {
 std::shared_ptr<Payload> DeserializeMessage(BufferReader* reader) {
   uint8_t tag = 0;
   if (!reader->GetU8(&tag).ok()) return nullptr;
+  uint64_t cause = 0;
+  if (!reader->GetVarint(&cause).ok()) return nullptr;
   const Registry& reg = GetRegistry();
   if (tag >= reg.entries.size()) return nullptr;
-  return reg.entries[tag].deserialize(reader);
+  std::shared_ptr<Payload> msg = reg.entries[tag].deserialize(reader);
+  if (msg != nullptr) msg->cause_id = cause;
+  return msg;
 }
 
 bool IsRegisteredMessage(const Payload& msg) {

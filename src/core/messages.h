@@ -48,6 +48,12 @@ struct InputMsg : Payload {
 // ---------------------------------------------------------------------------
 // Vertex <-> vertex (routed processor -> processor): the three-phase
 // update protocol of Section 4.2.
+//
+// Causal tracing: the engine stamps Payload::cause_id (see net/payload.h)
+// with one fresh round id per prepare fanout. PrepareMsg, the AckMsgs that
+// answer it, and the UpdateMsg scatter of the commit it enabled share that
+// id; the serde envelope carries it on the wire. All other messages leave
+// cause_id at 0.
 // ---------------------------------------------------------------------------
 
 /// Commit-phase message: the producer's new value and iteration number.

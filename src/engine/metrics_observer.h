@@ -22,7 +22,7 @@ class MetricsEngineObserver final : public EngineObserver {
         updates_blocked_(metrics->CounterHandle(metric::kUpdatesBlocked)),
         versions_flushed_(metrics->CounterHandle(metric::kVersionsFlushed)) {}
 
-  void OnInputGathered(LoopId) override { ++inputs_gathered_; }
+  void OnInputGathered(LoopId, VertexId) override { ++inputs_gathered_; }
   void OnPrepare(LoopId, LoopEpoch, VertexId, uint64_t fanout) override {
     prepares_sent_ += static_cast<int64_t>(fanout);
   }

@@ -26,8 +26,8 @@ class EngineObserver {
  public:
   virtual ~EngineObserver() = default;
 
-  /// One external input delta was gathered by a main-loop vertex.
-  virtual void OnInputGathered(LoopId /*loop*/) {}
+  /// One external input delta was gathered by `vertex` in `loop`.
+  virtual void OnInputGathered(LoopId /*loop*/, VertexId /*vertex*/) {}
 
   /// A vertex started a prepare round, fanning PREPAREs out to `fanout`
   /// consumers (Section 4.2's second phase).
@@ -51,6 +51,12 @@ class EngineObserver {
   /// An arriving update was buffered at the delay bound (Section 4.4).
   virtual void OnBlock(LoopId /*loop*/, LoopEpoch /*epoch*/,
                        VertexId /*vertex*/, Iteration /*iteration*/) {}
+
+  /// A bound-buffered update for `vertex` was released for gathering after
+  /// the termination watermark advanced (closes a matching OnBlock; the
+  /// trace layer turns the pair into a stall interval).
+  virtual void OnUnblocked(LoopId /*loop*/, LoopEpoch /*epoch*/,
+                           VertexId /*vertex*/, Iteration /*iteration*/) {}
 
   /// `versions` dirty store versions were flushed before a progress
   /// report (Section 5.3's checkpoint rule).
@@ -90,8 +96,8 @@ class EngineObserverList final : public EngineObserver {
     if (observer != nullptr) observers_.push_back(observer);
   }
 
-  void OnInputGathered(LoopId loop) override {
-    for (EngineObserver* o : observers_) o->OnInputGathered(loop);
+  void OnInputGathered(LoopId loop, VertexId vertex) override {
+    for (EngineObserver* o : observers_) o->OnInputGathered(loop, vertex);
   }
   void OnPrepare(LoopId loop, LoopEpoch epoch, VertexId producer,
                  uint64_t fanout) override {
@@ -116,6 +122,12 @@ class EngineObserverList final : public EngineObserver {
                Iteration iteration) override {
     for (EngineObserver* o : observers_) {
       o->OnBlock(loop, epoch, vertex, iteration);
+    }
+  }
+  void OnUnblocked(LoopId loop, LoopEpoch epoch, VertexId vertex,
+                   Iteration iteration) override {
+    for (EngineObserver* o : observers_) {
+      o->OnUnblocked(loop, epoch, vertex, iteration);
     }
   }
   void OnFlush(LoopId loop, uint64_t versions) override {

@@ -284,7 +284,7 @@ void ProtocolStateMachine::GatherInput(LoopState& ls, VertexSession& s,
                                        EngineActions* out) {
   TCHECK(!s.update_time.has_value());
   ++ls.inputs_gathered;
-  observer_->OnInputGathered(ls.loop);
+  observer_->OnInputGathered(ls.loop, s.id);
   // Inputs gathered while iteration tau is closing belong to the *next*
   // iteration (Section 3.3: ΔS_i are "the inputs collected in the i-th
   // iteration", consumed by update i+1). Without this, a continuous input
@@ -393,9 +393,11 @@ void ProtocolStateMachine::MaybePrepare(LoopState& ls, VertexSession& s,
   }
 
   s.update_time = clock_.Tick();
+  s.prepare_cause = NextCause();  // one trace round per prepare fanout
   for (VertexId c : consumers) s.waiting_list.insert(c);
   for (VertexId c : consumers) {
     auto prep = std::make_shared<PrepareMsg>();
+    prep->cause_id = s.prepare_cause;
     prep->loop = ls.loop;
     prep->epoch = ls.epoch;
     prep->src_vertex = s.id;
@@ -427,6 +429,7 @@ void ProtocolStateMachine::HandlePrepare(const PrepareMsg& msg,
   // discards their in-transit updates (Section 5.2).
   if (!s.update_time.has_value() || *s.update_time > msg.time) {
     auto ack = std::make_shared<AckMsg>();
+    ack->cause_id = msg.cause_id;  // echo the prepare's trace round
     ack->loop = ls->loop;
     ack->epoch = ls->epoch;
     ack->src_vertex = s.id;
@@ -436,7 +439,8 @@ void ProtocolStateMachine::HandlePrepare(const PrepareMsg& msg,
     SendToVertex(out, msg.src_vertex, std::move(ack));
     observer_->OnAck(ls->loop, ls->epoch, s.id, msg.src_vertex, acked);
   } else {
-    s.pending_list.emplace_back(msg.src_vertex, msg.time);
+    s.pending_list.push_back(DeferredAck{msg.src_vertex, msg.time,
+                                         msg.cause_id});
   }
 }
 
@@ -467,6 +471,12 @@ void ProtocolStateMachine::HandleAck(const AckMsg& msg, EngineActions* out) {
 
 void ProtocolStateMachine::Commit(LoopState& ls, VertexSession& s,
                                   Iteration iteration, EngineActions* out) {
+  // Trace round this commit belongs to: the prepare fanout that enabled it
+  // when one ran, or a fresh id for prepare-free commits (no consumers, or
+  // a commit at the bound). The update scatter below carries it.
+  const uint64_t round =
+      s.prepare_cause != 0 ? s.prepare_cause : NextCause();
+  s.prepare_cause = 0;
   s.update_time.reset();
   s.dirty = false;
   s.last_commit = iteration;
@@ -482,6 +492,7 @@ void ProtocolStateMachine::Commit(LoopState& ls, VertexSession& s,
     TCHECK_NE(update.kind, kNoopUpdateKind)
         << "programs must not emit the reserved no-op kind";
     auto upd = std::make_shared<UpdateMsg>();
+    upd->cause_id = round;
     upd->loop = ls.loop;
     upd->epoch = ls.epoch;
     upd->src_vertex = s.id;
@@ -498,6 +509,7 @@ void ProtocolStateMachine::Commit(LoopState& ls, VertexSession& s,
   auto notify_noop = [&](VertexId target) {
     if (notified.count(target) > 0) return;
     auto upd = std::make_shared<UpdateMsg>();
+    upd->cause_id = round;
     upd->loop = ls.loop;
     upd->epoch = ls.epoch;
     upd->src_vertex = s.id;
@@ -520,15 +532,16 @@ void ProtocolStateMachine::Commit(LoopState& ls, VertexSession& s,
                       BoundIteration(ls));
 
   // Reply to producers whose PREPAREs were deferred behind this update.
-  for (auto& [producer, time] : s.pending_list) {
+  for (const DeferredAck& deferred : s.pending_list) {
     auto ack = std::make_shared<AckMsg>();
+    ack->cause_id = deferred.cause;  // echo the deferred prepare's round
     ack->loop = ls.loop;
     ack->epoch = ls.epoch;
     ack->src_vertex = s.id;
-    ack->dst_vertex = producer;
+    ack->dst_vertex = deferred.producer;
     ack->iteration = s.iter;
-    SendToVertex(out, producer, std::move(ack));
-    observer_->OnAck(ls.loop, ls.epoch, s.id, producer, s.iter);
+    SendToVertex(out, deferred.producer, std::move(ack));
+    observer_->OnAck(ls.loop, ls.epoch, s.id, deferred.producer, s.iter);
   }
   s.pending_list.clear();
   s.ClearRetiring();
@@ -586,6 +599,7 @@ void ProtocolStateMachine::ReleaseBlocked(LoopState& ls, EngineActions* out) {
     for (BlockedUpdate& b : batch) {
       TCHECK_GE(ls.blocked_count, 1u);
       --ls.blocked_count;
+      observer_->OnUnblocked(ls.loop, ls.epoch, b.dst, b.iteration);
       VertexSession& s = GetOrCreateVertex(ls, b.dst);
       GatherUpdate(ls, s, b.src, b.iteration, b.update, out);
     }

@@ -128,6 +128,13 @@ class ProtocolStateMachine {
   bool OwnsVertex(VertexId v) const {
     return partitioner_.PartitionOf(v) == index_;
   }
+
+  /// Fresh causal round id for tracing (see net/payload.h): the processor
+  /// index in the high bits keeps ids globally unique without
+  /// coordination, and the per-processor counter keeps them deterministic.
+  uint64_t NextCause() {
+    return (static_cast<uint64_t>(index_ + 1) << 40) | ++next_cause_;
+  }
   static void SendToVertex(EngineActions* out, VertexId dst, PayloadPtr msg);
   static void SendToMaster(EngineActions* out, PayloadPtr msg);
 
@@ -138,6 +145,7 @@ class ProtocolStateMachine {
   HashPartitioner partitioner_;
   EngineObserver* observer_;  // never null (defaults to a no-op)
   LamportClock clock_;
+  uint64_t next_cause_ = 0;  // trace round counter (see NextCause)
   std::map<std::pair<LoopId, LoopEpoch>, std::vector<PayloadPtr>> orphans_;
 };
 

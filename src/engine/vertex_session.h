@@ -21,6 +21,15 @@ namespace tornado {
 /// vertex participates in (Section 5.1's session layer). Owned by the
 /// SessionTable; mutated only by the ProtocolStateMachine and the
 /// callback context it hands to programs.
+/// A PREPARE whose acknowledgement was deferred until this vertex's own
+/// commit (the Lamport order said the producer's update happens-after).
+/// `cause` echoes the prepare's trace round id back on the eventual ack.
+struct DeferredAck {
+  VertexId producer = 0;
+  LamportTime prepare_time;
+  uint64_t cause = 0;
+};
+
 struct VertexSession {
   VertexId id = 0;
   std::unique_ptr<VertexState> state;
@@ -29,7 +38,8 @@ struct VertexSession {
   std::optional<LamportTime> update_time;  // set while preparing
   std::set<VertexId> prepare_list;         // producers preparing us
   std::set<VertexId> waiting_list;         // consumers we await acks from
-  std::vector<std::pair<VertexId, LamportTime>> pending_list;
+  std::vector<DeferredAck> pending_list;
+  uint64_t prepare_cause = 0;  // trace round id of the in-flight prepare
   bool dirty = false;
   std::deque<Delta> pending_inputs;  // inputs deferred during preparation
   Iteration merge_floor = 0;         // updates below this are stale

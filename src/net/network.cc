@@ -47,6 +47,7 @@ void Network::Send(NodeId src, NodeId dst, PayloadPtr payload, bool reliable) {
   NodeState& sender = nodes_[src];
   if (!sender.alive) return;
   metrics_.Inc(metric::kMessagesSent);
+  if (observer_ != nullptr) observer_->OnSend(src, dst, *payload);
 
   uint64_t seq = 0;
   if (reliable) {
@@ -147,6 +148,7 @@ void Network::ArriveAtNode(NodeId src, NodeId dst, uint32_t src_inc,
 
 void Network::EnqueueAtNode(NodeId src, NodeId dst, PayloadPtr payload) {
   metrics_.Inc(metric::kMessagesDelivered);
+  if (observer_ != nullptr) observer_->OnDeliver(src, dst, *payload);
   nodes_[dst].inbox.push_back(InboxEntry{src, std::move(payload), nullptr});
   SchedulePump(dst);
 }
@@ -274,6 +276,7 @@ void Network::KillNode(NodeId id) {
     }
   }
   TLOG_INFO << "node " << id << " killed at t=" << loop_->now();
+  if (observer_ != nullptr) observer_->OnNodeKilled(id);
 }
 
 void Network::RecoverNode(NodeId id) {
@@ -296,6 +299,7 @@ void Network::RecoverNode(NodeId id) {
     }
   }
   TLOG_INFO << "node " << id << " recovered at t=" << loop_->now();
+  if (observer_ != nullptr) observer_->OnNodeRecovered(id);
   ns.node->OnRestart();
 }
 

@@ -57,6 +57,29 @@ class Node {
   Network* network_ = nullptr;
 };
 
+/// Hook interface over transport events, mirroring EngineObserver one
+/// layer down: the trace subsystem subscribes to record message flow and
+/// failure-injector activity without the network knowing about tracing.
+/// Callbacks run synchronously inside the network; implementations must
+/// not call back into it.
+class NetworkObserver {
+ public:
+  virtual ~NetworkObserver() = default;
+
+  /// `src` handed `payload` to the transport, addressed to `dst` (fires
+  /// once per logical send, not per retransmission).
+  virtual void OnSend(NodeId /*src*/, NodeId /*dst*/,
+                      const Payload& /*payload*/) {}
+
+  /// `payload` reached `dst`'s service queue (post dedup/reordering).
+  virtual void OnDeliver(NodeId /*src*/, NodeId /*dst*/,
+                         const Payload& /*payload*/) {}
+
+  /// Failure injection: `node` was killed / recovered.
+  virtual void OnNodeKilled(NodeId /*node*/) {}
+  virtual void OnNodeRecovered(NodeId /*node*/) {}
+};
+
 /// The simulated cluster fabric: node registry, host NICs, reliable
 /// channels (per-channel sequence numbers, transport acks, retransmission
 /// with exponential backoff, receiver-side dedup) and failure injection.
@@ -95,6 +118,24 @@ class Network {
   const CostModel& cost() const { return cost_; }
   MetricRegistry& metrics() { return metrics_; }
   size_t node_count() const { return nodes_.size(); }
+
+  /// Subscribes `observer` to transport events (nullptr detaches). The
+  /// observer must outlive the network; at most one is supported — the
+  /// trace layer fans out internally if it ever needs to.
+  void set_observer(NetworkObserver* observer) { observer_ = observer; }
+
+  /// Messages accepted by Send but not yet handed to a service queue
+  /// (in-flight or lost-awaiting-retransmission); the time-series sampler
+  /// graphs this as transport backlog.
+  int64_t InFlightCount() const {
+    return metrics_.Get(metric::kMessagesSent) -
+           metrics_.Get(metric::kMessagesDelivered);
+  }
+
+  /// Service-queue depth of `id` (undelivered inbox entries).
+  size_t InboxDepth(NodeId id) const {
+    return id < nodes_.size() ? nodes_[id].inbox.size() : 0;
+  }
 
  private:
   struct InboxEntry {
@@ -178,6 +219,7 @@ class Network {
   std::unordered_map<uint64_t, SendChannel> send_channels_;
   std::unordered_map<uint64_t, RecvChannel> recv_channels_;
   double handler_extra_cost_ = 0.0;
+  NetworkObserver* observer_ = nullptr;
 };
 
 }  // namespace tornado

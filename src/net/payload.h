@@ -21,6 +21,14 @@ struct Payload {
 
   /// Short type name for logs and traces.
   virtual const char* name() const = 0;
+
+  /// Causal round id for tracing; 0 = untracked. The protocol engine stamps
+  /// one fresh id per prepare round: the PrepareMsg fanout, every AckMsg that
+  /// answers it (immediate or deferred), and the UpdateMsg scatter of the
+  /// commit it enabled all carry the same id, so a commit in a trace can be
+  /// walked back through the acks and prepares that produced it. Serialized
+  /// by the message_serde envelope, not per-message bodies.
+  uint64_t cause_id = 0;
 };
 
 using PayloadPtr = std::shared_ptr<const Payload>;

@@ -53,18 +53,23 @@ uint64_t EventLoop::Run() {
 
 uint64_t EventLoop::RunUntil(double deadline) {
   uint64_t n = 0;
-  while (!budget_exhausted() && !queue_.empty()) {
+  for (;;) {
     // Peek past cancelled tombstones to find the next real event time.
     while (!queue_.empty() && cancelled_.count(queue_.top().id) > 0) {
       cancelled_.erase(queue_.top().id);
       callbacks_.erase(queue_.top().id);
       queue_.pop();
     }
-    if (queue_.empty() || queue_.top().time > deadline) break;
+    if (queue_.empty() || queue_.top().time > deadline) {
+      // Only when every due event has fired may the clock jump to the
+      // deadline; a budget break below leaves now_ at the last fired event
+      // so the undelivered ones are still in the future, not the past.
+      if (now_ < deadline) now_ = deadline;
+      return n;
+    }
+    if (budget_exhausted()) return n;
     if (FireNext()) ++n;
   }
-  if (now_ < deadline) now_ = deadline;
-  return n;
 }
 
 bool EventLoop::Step() { return FireNext(); }

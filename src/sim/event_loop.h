@@ -39,7 +39,10 @@ class EventLoop {
   uint64_t Run();
 
   /// Runs events with time <= `deadline`; the clock then advances to
-  /// `deadline` (if it was behind). Returns the number of events fired.
+  /// `deadline` (if it was behind). If the event budget runs out while
+  /// events are still due before the deadline, the clock stays at the last
+  /// fired event so the undelivered events remain in the future. Returns
+  /// the number of events fired.
   uint64_t RunUntil(double deadline);
 
   /// Fires the single next event. Returns false if the queue is empty.

@@ -1,0 +1,81 @@
+#include "trace/time_series.h"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "trace/trace_event.h"
+
+namespace tornado {
+
+TimeSeriesSampler::TimeSeriesSampler(EventLoop* loop, double period)
+    : loop_(loop), period_(period) {}
+
+void TimeSeriesSampler::AddProbe(const std::string& name,
+                                 std::function<double()> probe) {
+  names_.push_back(name);
+  probes_.push_back(std::move(probe));
+}
+
+void TimeSeriesSampler::set_recorder(TraceRecorder* recorder,
+                                     uint32_t track) {
+  recorder_ = recorder;
+  track_ = track;
+}
+
+void TimeSeriesSampler::Start() {
+  if (running_) return;
+  running_ = true;
+  timer_ = loop_->Schedule(period_, [this]() { Tick(); });
+}
+
+void TimeSeriesSampler::Stop() {
+  if (!running_) return;
+  running_ = false;
+  loop_->Cancel(timer_);
+}
+
+void TimeSeriesSampler::Tick() {
+  if (!running_) return;
+  // A paused recorder silences the sampler entirely: the auto-attached
+  // trace session must not accumulate samples while nobody is tracing.
+  if (recorder_ == nullptr || recorder_->enabled()) {
+    Sample sample;
+    sample.ts = loop_->now();
+    sample.values.reserve(probes_.size());
+    for (size_t i = 0; i < probes_.size(); ++i) {
+      const double value = probes_[i]();
+      sample.values.push_back(value);
+      if (recorder_ != nullptr) {
+        recorder_->Counter(trace_cat::kSeries, names_[i], track_, value);
+      }
+    }
+    samples_.push_back(std::move(sample));
+  }
+  timer_ = loop_->Schedule(period_, [this]() { Tick(); });
+}
+
+void TimeSeriesSampler::WriteCsv(std::ostream& os) const {
+  os << "ts";
+  for (const std::string& name : names_) os << "," << name;
+  os << "\n";
+  char buf[64];
+  for (const Sample& sample : samples_) {
+    std::snprintf(buf, sizeof(buf), "%.6f", sample.ts);
+    os << buf;
+    for (double value : sample.values) {
+      std::snprintf(buf, sizeof(buf), "%.6g", value);
+      os << "," << buf;
+    }
+    os << "\n";
+  }
+}
+
+bool TimeSeriesSampler::WriteCsvFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.is_open()) return false;
+  WriteCsv(out);
+  return out.good();
+}
+
+}  // namespace tornado

@@ -1,0 +1,74 @@
+#ifndef TORNADO_TRACE_TIME_SERIES_H_
+#define TORNADO_TRACE_TIME_SERIES_H_
+
+#include <cstddef>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/event_loop.h"
+#include "trace/trace_recorder.h"
+
+namespace tornado {
+
+/// Periodically snapshots a set of named probes on the EventLoop and keeps
+/// the samples as a time series: per-loop progress (commit watermark,
+/// staleness spread), session-table queue depths, transport backlog —
+/// whatever the probes read. Exports CSV (one row per tick) and, when a
+/// recorder is attached, mirrors every sample as Chrome counter events so
+/// Perfetto graphs them alongside the spans.
+///
+/// Sampling runs on the same virtual clock as the cluster, so a sampling
+/// run is deterministic too — but note that *starting* the sampler adds
+/// events to the loop, which legitimately changes event interleaving
+/// relative to an unsampled run. Same-seed traced runs compare
+/// byte-identical against each other, not against untraced runs.
+class TimeSeriesSampler {
+ public:
+  /// Samples every `period` virtual seconds once started.
+  TimeSeriesSampler(EventLoop* loop, double period);
+
+  /// Registers a probe; its value is read at every tick. Add all probes
+  /// before Start.
+  void AddProbe(const std::string& name, std::function<double()> probe);
+
+  /// Mirrors samples into `recorder` as counter events on `track`.
+  /// While the recorder is paused, ticks record nothing (and keep no
+  /// samples), so a paused auto-attached trace stays empty.
+  void set_recorder(TraceRecorder* recorder, uint32_t track);
+
+  void Start();
+  void Stop();
+  bool running() const { return running_; }
+
+  struct Sample {
+    double ts = 0.0;
+    std::vector<double> values;  // parallel to probe_names()
+  };
+
+  const std::vector<std::string>& probe_names() const { return names_; }
+  const std::vector<Sample>& samples() const { return samples_; }
+
+  /// CSV with a header row ("ts,<probe>,<probe>,...") and fixed-precision
+  /// values (deterministic byte-for-byte for the same run).
+  void WriteCsv(std::ostream& os) const;
+  bool WriteCsvFile(const std::string& path) const;
+
+ private:
+  void Tick();
+
+  EventLoop* loop_;
+  double period_;
+  bool running_ = false;
+  EventId timer_ = 0;
+  TraceRecorder* recorder_ = nullptr;
+  uint32_t track_ = 0;
+  std::vector<std::string> names_;
+  std::vector<std::function<double()>> probes_;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace tornado
+
+#endif  // TORNADO_TRACE_TIME_SERIES_H_

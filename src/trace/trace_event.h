@@ -1,0 +1,53 @@
+#ifndef TORNADO_TRACE_TRACE_EVENT_H_
+#define TORNADO_TRACE_TRACE_EVENT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tornado {
+
+/// Argument list of a trace event. Keys must be string literals (they are
+/// stored by pointer); values are unsigned integers — loop/vertex ids,
+/// iterations, cause ids. Everything needed for stall attribution and
+/// causal walks is integral; float-valued series go through counters.
+using TraceArgs = std::vector<std::pair<const char*, uint64_t>>;
+
+/// One structured trace record, timed by the virtual clock (seconds).
+///
+/// The phase mirrors the Chrome trace-event format the recorder exports:
+///   'X'  complete span [ts, ts + dur]
+///   'i'  instant
+///   'C'  counter sample (value)
+///   's'  flow start (flow = cause id), binds to the span at the same ts
+///   'f'  flow end
+/// Track is the node id of the simulated cluster (rendered as a Chrome
+/// tid): processors [0, P), master P, ingester P + 1; the recorder may
+/// define extra pseudo-tracks (e.g. the time-series sampler).
+struct TraceEvent {
+  double ts = 0.0;
+  double dur = 0.0;
+  char ph = 'i';
+  uint32_t track = 0;
+  const char* cat = "";  // literal category: "protocol", "net", ...
+  std::string name;
+  uint64_t flow = 0;   // flow id for 's'/'f'
+  double value = 0.0;  // counter value for 'C'
+  TraceArgs args;
+};
+
+/// Event categories used by the shipped subscribers (free-form strings;
+/// listed here so exporters and the report tool agree on spelling).
+namespace trace_cat {
+inline constexpr const char kProtocol[] = "protocol";  // engine phases
+inline constexpr const char kNet[] = "net";            // send/deliver
+inline constexpr const char kFlow[] = "flow";          // causal arrows
+inline constexpr const char kMaster[] = "master";      // coordinator
+inline constexpr const char kFailure[] = "failure";    // injector
+inline constexpr const char kSeries[] = "series";      // sampler counters
+}  // namespace trace_cat
+
+}  // namespace tornado
+
+#endif  // TORNADO_TRACE_TRACE_EVENT_H_

@@ -173,6 +173,36 @@ TEST(HistogramTest, StddevOfConstantIsZero) {
 }
 
 // ---------------------------------------------------------------------------
+// MetricRegistry distributions
+// ---------------------------------------------------------------------------
+
+TEST(MetricRegistryTest, ObserveFeedsNamedDistribution) {
+  MetricRegistry metrics;
+  EXPECT_EQ(metrics.GetHistogram("latency"), nullptr);
+  metrics.Observe("latency", 0.5);
+  metrics.Observe("latency", 1.5);
+  const Histogram* h = metrics.GetHistogram("latency");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 2u);
+  EXPECT_DOUBLE_EQ(h->Mean(), 1.0);
+  EXPECT_NE(metrics.ToString().find("latency"), std::string::npos);
+}
+
+TEST(MetricRegistryTest, HandlesSurviveReset) {
+  MetricRegistry metrics;
+  Histogram& handle = metrics.HistogramHandle("staleness");
+  handle.Add(2.0);
+  int64_t& counter = metrics.CounterHandle("commits");
+  counter = 7;
+  metrics.Reset();
+  // Reset clears in place: both handles stay valid and read as empty.
+  EXPECT_EQ(handle.count(), 0u);
+  EXPECT_EQ(counter, 0);
+  handle.Add(9.0);
+  EXPECT_EQ(metrics.GetHistogram("staleness")->count(), 1u);
+}
+
+// ---------------------------------------------------------------------------
 // LamportClock
 // ---------------------------------------------------------------------------
 

@@ -119,5 +119,119 @@ TEST(EventLoopTest, PendingCountsUncancelledEvents) {
   EXPECT_EQ(loop.pending(), 1u);
 }
 
+// --- Cancel / tombstone semantics ------------------------------------------
+
+TEST(EventLoopCancelTest, CancelThenRunUntilSkipsTombstone) {
+  EventLoop loop;
+  std::vector<int> order;
+  const EventId a = loop.Schedule(0.1, [&]() { order.push_back(1); });
+  loop.Schedule(0.2, [&]() { order.push_back(2); });
+  loop.Cancel(a);
+  // The tombstone sits at the head of the queue; RunUntil must drain it
+  // without firing and still run the live event behind it.
+  EXPECT_EQ(loop.RunUntil(0.5), 1u);
+  EXPECT_EQ(order, (std::vector<int>{2}));
+  EXPECT_DOUBLE_EQ(loop.now(), 0.5);
+  EXPECT_TRUE(loop.empty());
+  EXPECT_EQ(loop.pending(), 0u);
+}
+
+TEST(EventLoopCancelTest, CancelAfterFireIsNoop) {
+  EventLoop loop;
+  int fired = 0;
+  const EventId a = loop.Schedule(0.1, [&]() { ++fired; });
+  loop.Schedule(0.2, [&]() { ++fired; });
+  EXPECT_TRUE(loop.Step());  // fires `a`
+  EXPECT_EQ(fired, 1);
+  loop.Cancel(a);  // id already consumed: must not tombstone anything
+  EXPECT_EQ(loop.pending(), 1u);
+  EXPECT_FALSE(loop.empty());
+  loop.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventLoopCancelTest, DoubleCancelCountsOnce) {
+  EventLoop loop;
+  const EventId a = loop.Schedule(0.1, []() {});
+  loop.Schedule(0.2, []() {});
+  loop.Cancel(a);
+  loop.Cancel(a);  // second cancel must not double-tombstone
+  EXPECT_EQ(loop.pending(), 1u);
+  EXPECT_FALSE(loop.empty());
+  EXPECT_EQ(loop.Run(), 1u);
+  EXPECT_TRUE(loop.empty());
+}
+
+TEST(EventLoopCancelTest, EmptyWithOnlyTombstonesInQueue) {
+  EventLoop loop;
+  const EventId a = loop.Schedule(0.1, []() {});
+  const EventId b = loop.Schedule(0.2, []() {});
+  loop.Cancel(a);
+  loop.Cancel(b);
+  // Queue physically holds two entries, both tombstoned.
+  EXPECT_TRUE(loop.empty());
+  EXPECT_EQ(loop.pending(), 0u);
+  EXPECT_EQ(loop.Run(), 0u);
+  EXPECT_TRUE(loop.empty());
+}
+
+TEST(EventLoopCancelTest, CancelledSelfRescheduleStopsTimerChain) {
+  // The periodic-timer idiom: a callback reschedules itself; cancelling
+  // the live id stops the chain.
+  EventLoop loop;
+  int ticks = 0;
+  EventId id = 0;
+  std::function<void()> tick = [&]() {
+    ++ticks;
+    id = loop.Schedule(0.1, tick);
+  };
+  id = loop.Schedule(0.1, tick);
+  loop.RunUntil(0.35);
+  EXPECT_EQ(ticks, 3);
+  loop.Cancel(id);
+  loop.RunUntil(1.0);
+  EXPECT_EQ(ticks, 3);
+  EXPECT_TRUE(loop.empty());
+}
+
+// --- RunUntil vs. the event budget -----------------------------------------
+
+TEST(EventLoopBudgetTest, RunUntilDoesNotAdvancePastUndeliveredEvents) {
+  EventLoop loop;
+  std::vector<double> fired_at;
+  for (int i = 1; i <= 10; ++i) {
+    loop.Schedule(i * 0.1, [&, i]() { fired_at.push_back(i * 0.1); });
+  }
+  loop.set_event_budget(4);
+  EXPECT_EQ(loop.RunUntil(2.0), 4u);
+  ASSERT_EQ(fired_at.size(), 4u);
+  // Six events (t=0.5..1.0) are still due before the deadline; the clock
+  // must stay at the last fired event, not jump to 2.0 and leave them
+  // scheduled "in the past".
+  EXPECT_DOUBLE_EQ(loop.now(), 0.4);
+  EXPECT_EQ(loop.pending(), 6u);
+}
+
+TEST(EventLoopBudgetTest, RunUntilStillReachesDeadlineWhenAllDueFired) {
+  EventLoop loop;
+  loop.Schedule(0.1, []() {});
+  loop.set_event_budget(4);
+  EXPECT_EQ(loop.RunUntil(2.0), 1u);
+  // Budget not exhausted and nothing left before the deadline: the idle
+  // clock advance is still correct.
+  EXPECT_DOUBLE_EQ(loop.now(), 2.0);
+}
+
+TEST(EventLoopBudgetTest, ExhaustedBudgetWithDrainedQueueStillReachesDeadline) {
+  EventLoop loop;
+  for (int i = 1; i <= 3; ++i) loop.Schedule(i * 0.1, []() {});
+  loop.set_event_budget(3);
+  EXPECT_EQ(loop.RunUntil(1.0), 3u);
+  EXPECT_TRUE(loop.budget_exhausted());
+  // Every scheduled event was delivered, so nothing can land in the past:
+  // the idle clock advance to the deadline is safe even on a spent budget.
+  EXPECT_DOUBLE_EQ(loop.now(), 1.0);
+}
+
 }  // namespace
 }  // namespace tornado

@@ -6,6 +6,7 @@ namespace fixture {
 
 void RegisterAll() {
   TORNADO_MESSAGE_SERDE(RegisteredMsg);
+  TORNADO_MESSAGE_SERDE(TracedEnvelopeMsg);
   // OrphanMsg deliberately absent.
 }
 

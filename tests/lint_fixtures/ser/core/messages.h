@@ -17,6 +17,14 @@ struct OrphanMsg : Payload {  // fires: missing from the registry below
   int value = 0;
 };
 
+// Trace-carrying payload: cause_id rides in the serde envelope, not in a
+// per-message field list, so a registered message with trace metadata
+// must scan exactly like any other registered message.
+struct TracedEnvelopeMsg : Payload {
+  unsigned long long cause_id = 0;
+  int value = 0;
+};
+
 struct NotAMessage {  // ignored: does not derive from Payload
   int value = 0;
 };

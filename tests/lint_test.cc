@@ -99,6 +99,9 @@ TEST(LintTest, SerRuleNamesTheOrphanStruct) {
                             "\"wire message `RegisteredMsg`"),
             std::string::npos)
       << "registered struct must not be reported:\n" << run.output;
+  EXPECT_EQ(run.output.find("TracedEnvelopeMsg"), std::string::npos)
+      << "registered trace-payload struct must not be reported:\n"
+      << run.output;
 }
 
 TEST(LintTest, CleanFixtureScansClean) {

@@ -103,6 +103,29 @@ TEST(MessageSerdeTest, PrepareMsgCarriesTheLamportStamp) {
   EXPECT_EQ(out->time, (LamportTime{99, 2}));
 }
 
+TEST(MessageSerdeTest, CauseIdRidesTheEnvelopeOfEveryMessage) {
+  // The causal round id lives on the Payload base and is serialized by the
+  // envelope, so every message type carries it without per-type fields.
+  PrepareMsg prep;
+  prep.loop = 1;
+  prep.cause_id = (uint64_t{3} << 40) | 17;
+  EXPECT_EQ(RoundTrip(prep)->cause_id, (uint64_t{3} << 40) | 17);
+
+  AckMsg ack;
+  ack.cause_id = 42;
+  EXPECT_EQ(RoundTrip(ack)->cause_id, 42u);
+
+  UpdateMsg upd;
+  upd.update.kind = kNoopUpdateKind;
+  upd.cause_id = 0;  // untracked stays untracked
+  EXPECT_EQ(RoundTrip(upd)->cause_id, 0u);
+
+  TerminatedMsg term;
+  term.upto = 5;
+  term.cause_id = 0xFFFFFFFFFFFFFFFFull;  // full 64-bit range survives
+  EXPECT_EQ(RoundTrip(term)->cause_id, 0xFFFFFFFFFFFFFFFFull);
+}
+
 TEST(MessageSerdeTest, ProgressMsgBucketsSurvive) {
   ProgressMsg msg;
   msg.loop = 0;

@@ -87,7 +87,7 @@ struct ObservedCommit {
 
 class RecordingObserver : public EngineObserver {
  public:
-  void OnInputGathered(LoopId) override { ++inputs; }
+  void OnInputGathered(LoopId, VertexId) override { ++inputs; }
   void OnPrepare(LoopId, LoopEpoch, VertexId, uint64_t fanout) override {
     prepares += fanout;
   }

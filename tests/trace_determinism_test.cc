@@ -1,0 +1,90 @@
+// Tracing must not perturb determinism: two identically-seeded traced
+// runs produce byte-identical Chrome trace JSON and sampler CSV. (A
+// traced run legitimately interleaves differently from an untraced one —
+// the sampler schedules loop events — so the contract is traced-vs-traced,
+// not traced-vs-untraced; see trace/time_series.h.)
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "algos/sssp.h"
+#include "core/cluster.h"
+#include "stream/graph_stream.h"
+#include "trace/time_series.h"
+#include "trace/trace_recorder.h"
+
+namespace tornado {
+namespace {
+
+JobConfig MakeConfig() {
+  JobConfig config;
+  config.program = std::make_shared<SsspProgram>(0);
+  config.delay_bound = 4;
+  config.num_processors = 4;
+  config.num_hosts = 2;
+  config.ingest_rate = 100000.0;
+  config.ingest_batch = 10;
+  config.seed = 23;
+  return config;
+}
+
+GraphStreamOptions MakeStream() {
+  GraphStreamOptions options;
+  options.num_vertices = 120;
+  options.num_tuples = 800;
+  options.deletion_ratio = 0.05;
+  options.seed = 11;
+  return options;
+}
+
+struct TracedRun {
+  std::string trace_json;
+  std::string series_csv;
+  size_t events = 0;
+};
+
+TracedRun RunOnce(bool with_failure) {
+  TornadoCluster cluster(MakeConfig(),
+                         std::make_unique<GraphStream>(MakeStream()));
+  cluster.EnableTracing();
+  cluster.Start();
+  EXPECT_TRUE(cluster.RunUntilEmitted(400, 600.0));
+  if (with_failure) {
+    cluster.failures().CrashFor(cluster.processor_node(1),
+                                cluster.loop().now() + 0.02, 0.3);
+  }
+  cluster.RunFor(0.6);
+
+  TracedRun run;
+  run.events = cluster.trace()->size();
+  std::ostringstream trace_os;
+  cluster.trace()->WriteChromeTrace(trace_os);
+  run.trace_json = trace_os.str();
+  std::ostringstream series_os;
+  cluster.sampler()->WriteCsv(series_os);
+  run.series_csv = series_os.str();
+  return run;
+}
+
+TEST(TraceDeterminismTest, SameSeedYieldsByteIdenticalArtifacts) {
+  const TracedRun a = RunOnce(/*with_failure=*/false);
+  const TracedRun b = RunOnce(/*with_failure=*/false);
+  EXPECT_GT(a.events, 0u);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.trace_json, b.trace_json);
+  EXPECT_EQ(a.series_csv, b.series_csv);
+}
+
+TEST(TraceDeterminismTest, HoldsUnderInjectedFailuresToo) {
+  const TracedRun a = RunOnce(/*with_failure=*/true);
+  const TracedRun b = RunOnce(/*with_failure=*/true);
+  EXPECT_GT(a.events, 0u);
+  EXPECT_EQ(a.trace_json, b.trace_json);
+  EXPECT_EQ(a.series_csv, b.series_csv);
+}
+
+}  // namespace
+}  // namespace tornado

@@ -1,0 +1,45 @@
+// Offline analysis of a Chrome trace-event JSON produced by the
+// TraceRecorder (docs/OBSERVABILITY.md): per-phase time breakdown, top
+// stall causes (blocked_at_bound attribution), and recovery gaps around
+// injected failures.
+//
+// Usage: trace_report <trace.json> [--top N]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "trace/report.h"
+
+int main(int argc, char** argv) {
+  std::string path;
+  size_t top_stalls = 5;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--top" && i + 1 < argc) {
+      top_stalls = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: trace_report <trace.json> [--top N]\n");
+    return 2;
+  }
+
+  tornado::TraceSummary summary;
+  if (!tornado::SummarizeChromeTraceFile(path, &summary)) {
+    std::fprintf(stderr, "trace_report: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  if (summary.total_events == 0) {
+    std::fprintf(stderr, "trace_report: %s holds no trace events\n",
+                 path.c_str());
+    return 1;
+  }
+  std::fputs(tornado::FormatSummary(summary, top_stalls).c_str(), stdout);
+  return 0;
+}
