@@ -88,10 +88,11 @@ int main() {
   CheckpointLog log;
   if (log.Open(path).ok()) {
     for (uint32_t k = 0; k < kmeans.num_clusters; ++k) {
-      const auto* blob =
+      const VersionView blob =
           cluster.store().GetLatest(branch, KMeansCentroidVertex(k));
-      if (blob != nullptr) {
-        (void)log.Append(branch, KMeansCentroidVertex(k), 0, *blob);
+      if (blob) {
+        (void)log.Append(branch, KMeansCentroidVertex(k), 0, blob.data(),
+                         blob.size());
       }
     }
     (void)log.Close();

@@ -1,0 +1,120 @@
+#ifndef TORNADO_COMMON_INLINE_FN_H_
+#define TORNADO_COMMON_INLINE_FN_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace tornado {
+
+/// Move-only type-erased `void()` callable with inline storage.
+///
+/// The event loop schedules millions of short-lived closures per simulated
+/// second; `std::function`'s small-buffer optimization (16 bytes on
+/// libstdc++) is too small for the transport's capture lists, so every
+/// scheduled event used to heap-allocate. InlineFn stores closures up to
+/// `Capacity` bytes in place — sized so all of the substrate's hot-path
+/// lambdas fit — and falls back to the heap only for oversized captures.
+///
+/// Unlike `std::function` it is move-only, so it can carry move-only
+/// captures and never pays for copyability it does not need.
+template <size_t Capacity = 64>
+class InlineFn {
+ public:
+  InlineFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineFn(F&& fn) {  // NOLINT(runtime/explicit): mirrors std::function
+    using D = std::decay_t<F>;
+    if constexpr (sizeof(D) <= Capacity &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(fn));
+      ops_ = &InlineOps<D>::kOps;
+    } else {
+      *reinterpret_cast<D**>(buf_) = new D(std::forward<F>(fn));
+      ops_ = &HeapOps<D>::kOps;
+    }
+  }
+
+  InlineFn(InlineFn&& other) noexcept { MoveFrom(std::move(other)); }
+
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+
+  InlineFn& operator=(std::nullptr_t) {
+    Reset();
+    return *this;
+  }
+
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+
+  ~InlineFn() { Reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(buf_); }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    void (*relocate)(void* dst, void* src);  // move-construct dst, destroy src
+    void (*destroy)(void* storage);
+  };
+
+  template <typename D>
+  struct InlineOps {
+    static void Invoke(void* p) { (*std::launder(reinterpret_cast<D*>(p)))(); }
+    static void Relocate(void* dst, void* src) {
+      D* s = std::launder(reinterpret_cast<D*>(src));
+      ::new (dst) D(std::move(*s));
+      s->~D();
+    }
+    static void Destroy(void* p) {
+      std::launder(reinterpret_cast<D*>(p))->~D();
+    }
+    static constexpr Ops kOps = {&Invoke, &Relocate, &Destroy};
+  };
+
+  template <typename D>
+  struct HeapOps {
+    static void Invoke(void* p) { (**reinterpret_cast<D**>(p))(); }
+    static void Relocate(void* dst, void* src) {
+      *reinterpret_cast<D**>(dst) = *reinterpret_cast<D**>(src);
+    }
+    static void Destroy(void* p) { delete *reinterpret_cast<D**>(p); }
+    static constexpr Ops kOps = {&Invoke, &Relocate, &Destroy};
+  };
+
+  void MoveFrom(InlineFn&& other) {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[Capacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace tornado
+
+#endif  // TORNADO_COMMON_INLINE_FN_H_

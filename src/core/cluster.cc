@@ -208,9 +208,9 @@ double TornadoCluster::QueryLatency(uint64_t query_id) const {
 
 std::unique_ptr<VertexState> TornadoCluster::ReadVertexStateAt(
     LoopId loop, VertexId vertex, Iteration iteration) const {
-  const std::vector<uint8_t>* blob = store_.Get(loop, vertex, iteration);
-  if (blob == nullptr) return nullptr;
-  BufferReader reader(*blob);
+  const VersionView blob = store_.Get(loop, vertex, iteration);
+  if (!blob) return nullptr;
+  BufferReader reader(blob.data(), blob.size());
   return config_.program->DeserializeState(&reader);
 }
 

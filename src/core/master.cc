@@ -551,9 +551,9 @@ void Master::PersistJournal() {
 }
 
 bool Master::LoadJournal() {
-  const std::vector<uint8_t>* blob = store_->GetLatest(kJournalLoop, 0);
-  if (blob == nullptr) return false;
-  BufferReader r(*blob);
+  const VersionView blob = store_->GetLatest(kJournalLoop, 0);
+  if (!blob) return false;
+  BufferReader r(blob.data(), blob.size());
   uint32_t num_loops = 0;
   if (!r.GetU32(&num_loops).ok()) return false;
   for (uint32_t i = 0; i < num_loops; ++i) {

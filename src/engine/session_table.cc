@@ -36,9 +36,9 @@ Rng SessionTable::MakeVertexRng(LoopId loop, VertexId id) const {
 
 bool SessionTable::LoadFromStore(const LoopState& ls, VertexId id,
                                  Iteration at, VertexSession* out) const {
-  const std::vector<uint8_t>* blob = store_->Get(ls.loop, id, at);
-  if (blob == nullptr) return false;
-  BufferReader reader(*blob);
+  const VersionView blob = store_->Get(ls.loop, id, at);
+  if (!blob) return false;
+  BufferReader reader(blob.data(), blob.size());
   out->state = config_->program->DeserializeState(&reader);
   std::vector<uint64_t> targets;
   TCHECK(reader.GetU64Vec(&targets).ok()) << "corrupt vertex record";

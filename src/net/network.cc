@@ -60,8 +60,11 @@ void Network::Send(NodeId src, NodeId dst, PayloadPtr payload, bool reliable) {
     pending.dst_inc = dst_inc;
     pending.payload = payload;
     pending.timeout = cost_.ack_timeout;
-    ch.unacked.emplace(seq, std::move(pending));
-    ScheduleRetransmit(key, seq, src);
+    pending.deadline = loop_->now() + cost_.ack_timeout;
+    const double deadline = pending.deadline;
+    ch.window.push_back(std::move(pending));
+    ++ch.live;
+    EnsureChannelTimer(key, ch, deadline);
   }
   TransmitToHost(src, dst, sender.incarnation, seq, std::move(payload),
                  reliable, /*retransmit=*/false);
@@ -126,13 +129,24 @@ void Network::ArriveAtNode(NodeId src, NodeId dst, uint32_t src_inc,
 
   // Transport-level acknowledgement back to the sender (unreliable and
   // cheap; a lost ack only causes a duplicate, which dedup absorbs).
-  loop_->Schedule(SampleLatency(), [this, src, src_inc, dst, dst_inc, seq]() {
-    DeliverTransportAck(src, src_inc, dst, dst_inc, seq);
-  });
+  // Coalesced: one in-flight cumulative ack per channel — it reports the
+  // channel's receive state (contiguous + held sequences) as of its
+  // delivery, covering every arrival folded in while it travelled. The
+  // jitter sample is still drawn per arrival so the engine's RNG stream —
+  // and with it every downstream virtual-clock timestamp — is identical
+  // whether or not an arrival's ack was folded into a pending one
+  // (transport optimizations must not perturb simulated timing).
+  const double ack_latency = SampleLatency();
+  RecvChannel& rc = recv_channels_[ChannelKey(src, src_inc, dst, dst_inc)];
+  if (!rc.ack_pending) {
+    rc.ack_pending = true;
+    loop_->Schedule(ack_latency, [this, src, src_inc, dst, dst_inc]() {
+      DeliverCumulativeAck(src, src_inc, dst, dst_inc);
+    });
+  }
 
   // TCP-like per-channel semantics: drop duplicates, hold out-of-order
   // arrivals, deliver in sequence order.
-  RecvChannel& rc = recv_channels_[ChannelKey(src, src_inc, dst, dst_inc)];
   if (seq <= rc.contiguous || rc.held.count(seq) > 0) {
     metrics_.Inc(metric::kMessagesDeduped);
     return;
@@ -153,62 +167,141 @@ void Network::EnqueueAtNode(NodeId src, NodeId dst, PayloadPtr payload) {
   SchedulePump(dst);
 }
 
-void Network::DeliverTransportAck(NodeId src, uint32_t src_inc, NodeId dst,
-                                  uint32_t dst_inc, uint64_t seq) {
-  NodeState& sender = nodes_[src];
-  if (!sender.alive || sender.incarnation != src_inc) return;
-  auto ch_it = send_channels_.find(ChannelKey(src, src_inc, dst, dst_inc));
-  if (ch_it == send_channels_.end()) return;
-  auto pending_it = ch_it->second.unacked.find(seq);
-  if (pending_it == ch_it->second.unacked.end()) return;
-  loop_->Cancel(pending_it->second.timer);
-  ch_it->second.unacked.erase(pending_it);
+void Network::TrimWindow(SendChannel& ch) {
+  while (!ch.window.empty() && ch.window.front().done) {
+    ch.window.pop_front();
+    ++ch.base_seq;
+  }
 }
 
-void Network::ScheduleRetransmit(uint64_t channel_key, uint64_t seq,
-                                 NodeId src) {
+void Network::DeliverCumulativeAck(NodeId src, uint32_t src_inc, NodeId dst,
+                                   uint32_t dst_inc) {
+  const uint64_t key = ChannelKey(src, src_inc, dst, dst_inc);
+  auto rc_it = recv_channels_.find(key);
+  // The receiver restarted while the ack was in flight: its channel state
+  // is gone, so the ack is lost with it (the sender migrates the messages
+  // to the new incarnation at the next retransmit).
+  if (rc_it == recv_channels_.end()) return;
+  RecvChannel& rc = rc_it->second;
+  rc.ack_pending = false;
+  const uint64_t cumulative = rc.contiguous;
+  metrics_.Inc(metric::kTransportAcks);
+
+  NodeState& sender = nodes_[src];
+  if (!sender.alive || sender.incarnation != src_inc) return;
+  auto ch_it = send_channels_.find(key);
+  if (ch_it == send_channels_.end()) return;
+  SendChannel& ch = ch_it->second;
+
+  // Cumulative prefix: everything at or below `cumulative` is received.
+  while (!ch.window.empty() && ch.base_seq <= cumulative) {
+    if (!ch.window.front().done) --ch.live;
+    ch.window.pop_front();
+    ++ch.base_seq;
+  }
+  // Selective part: sequences held out-of-order at the receiver (rc.held
+  // is iteration-ordered, so this stays deterministic).
+  for (const auto& [held_seq, held] : rc.held) {
+    if (held_seq < ch.base_seq) continue;
+    const size_t idx = static_cast<size_t>(held_seq - ch.base_seq);
+    if (idx >= ch.window.size()) continue;
+    PendingSend& p = ch.window[idx];
+    if (!p.done) {
+      p.done = true;
+      p.payload.reset();
+      --ch.live;
+    }
+  }
+  TrimWindow(ch);
+
+  if (ch.live == 0) {
+    ch.window.clear();
+    ch.base_seq = ch.next_seq;
+    if (ch.timer != 0) {
+      loop_->Cancel(ch.timer);
+      ch.timer = 0;
+    }
+  }
+  // Otherwise the armed timer stays: acks only remove deadlines, so it
+  // still lower-bounds the earliest live one and re-arms itself on fire.
+}
+
+void Network::EnsureChannelTimer(uint64_t channel_key, SendChannel& ch,
+                                 double deadline) {
+  if (ch.timer != 0 && ch.timer_deadline <= deadline) return;
+  if (ch.timer != 0) loop_->Cancel(ch.timer);
+  ch.timer_deadline = deadline;
+  ch.timer = loop_->ScheduleAt(
+      deadline, [this, channel_key]() { ChannelTimerFired(channel_key); });
+}
+
+void Network::ChannelTimerFired(uint64_t channel_key) {
   auto ch_it = send_channels_.find(channel_key);
   if (ch_it == send_channels_.end()) return;
-  auto pending_it = ch_it->second.unacked.find(seq);
-  if (pending_it == ch_it->second.unacked.end()) return;
-  PendingSend& pending = pending_it->second;
+  SendChannel& ch = ch_it->second;
+  ch.timer = 0;
 
-  pending.timer =
-      loop_->Schedule(pending.timeout, [this, channel_key, seq, src]() {
-        auto ch = send_channels_.find(channel_key);
-        if (ch == send_channels_.end()) return;
-        auto it = ch->second.unacked.find(seq);
-        if (it == ch->second.unacked.end()) return;  // acked meanwhile
-        NodeState& sender = nodes_[src];
-        const uint32_t inc =
-            static_cast<uint32_t>((channel_key >> 28) & 0x3FFF);
-        if (!sender.alive || sender.incarnation != inc) {
-          ch->second.unacked.erase(it);
-          return;
-        }
-        PendingSend& p = it->second;
-        if (nodes_[p.dst].incarnation != p.dst_inc) {
-          // The receiver restarted: this channel is dead. Migrate the
-          // message onto a fresh channel toward the new incarnation
-          // (at-least-once across receiver restarts, Section 5.3).
-          PayloadPtr payload = p.payload;
-          const NodeId dst = p.dst;
-          ch->second.unacked.erase(it);
-          metrics_.Inc(metric::kMessagesRetransmitted);
-          Send(src, dst, std::move(payload), /*reliable=*/true);
-          return;
-        }
-        if (++p.retries > 64) {
-          TLOG_WARN << "dropping message after 64 retransmissions (dst="
-                    << p.dst << ")";
-          ch->second.unacked.erase(it);
-          return;
-        }
-        p.timeout = std::min(p.timeout * 2.0, cost_.ack_timeout_max);
-        TransmitToHost(src, p.dst, inc, seq, p.payload, /*reliable=*/true,
-                       /*retransmit=*/true);
-        ScheduleRetransmit(channel_key, seq, src);
-      });
+  const NodeId src = static_cast<NodeId>(channel_key >> 42);
+  const uint32_t src_inc = static_cast<uint32_t>((channel_key >> 28) & 0x3FFF);
+  NodeState& sender = nodes_[src];
+  if (!sender.alive || sender.incarnation != src_inc) {
+    // A dead incarnation's channel (KillNode normally erased it already).
+    send_channels_.erase(ch_it);
+    return;
+  }
+
+  const double now = loop_->now();
+  double next_deadline = 0.0;
+  bool has_next = false;
+  // Receiver-restart migrations are deferred: Send() may rehash
+  // send_channels_, so nothing may touch `ch` after the first migration.
+  std::vector<std::pair<NodeId, PayloadPtr>> migrate;
+
+  for (size_t i = 0; i < ch.window.size(); ++i) {
+    PendingSend& p = ch.window[i];
+    if (p.done) continue;
+    if (p.deadline > now) {
+      if (!has_next || p.deadline < next_deadline) next_deadline = p.deadline;
+      has_next = true;
+      continue;
+    }
+    const uint64_t seq = ch.base_seq + i;
+    if (nodes_[p.dst].incarnation != p.dst_inc) {
+      // The receiver restarted: this channel is dead. Migrate the message
+      // onto a fresh channel toward the new incarnation (at-least-once
+      // across receiver restarts, Section 5.3).
+      metrics_.Inc(metric::kMessagesRetransmitted);
+      migrate.emplace_back(p.dst, std::move(p.payload));
+      p.done = true;
+      --ch.live;
+      continue;
+    }
+    if (++p.retries > 64) {
+      TLOG_WARN << "dropping message after 64 retransmissions (dst=" << p.dst
+                << ")";
+      p.done = true;
+      p.payload.reset();
+      --ch.live;
+      continue;
+    }
+    p.timeout = std::min(p.timeout * 2.0, cost_.ack_timeout_max);
+    p.deadline = now + p.timeout;
+    if (!has_next || p.deadline < next_deadline) next_deadline = p.deadline;
+    has_next = true;
+    TransmitToHost(src, p.dst, src_inc, seq, p.payload, /*reliable=*/true,
+                   /*retransmit=*/true);
+  }
+  TrimWindow(ch);
+  if (ch.live == 0) {
+    ch.window.clear();
+    ch.base_seq = ch.next_seq;
+  } else if (has_next) {
+    EnsureChannelTimer(channel_key, ch, next_deadline);
+  }
+
+  for (auto& [migrate_dst, payload] : migrate) {
+    Send(src, migrate_dst, std::move(payload), /*reliable=*/true);
+  }
 }
 
 void Network::ScheduleOnNode(NodeId id, double delay,
@@ -263,13 +356,10 @@ void Network::KillNode(NodeId id) {
   ns.alive = false;
   ns.inbox.clear();
   // The crashed process loses its send-side channel state: cancel its
-  // retransmission timers.
+  // (single, per-channel) retransmission timers.
   for (auto it = send_channels_.begin(); it != send_channels_.end();) {
     if ((it->first >> 42) == id) {
-      // NOLINTNEXTLINE(DET-003): timer cancellation is order-insensitive.
-      for (auto& [seq, pending] : it->second.unacked) {
-        loop_->Cancel(pending.timer);
-      }
+      if (it->second.timer != 0) loop_->Cancel(it->second.timer);
       it = send_channels_.erase(it);
     } else {
       ++it;

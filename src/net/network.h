@@ -160,23 +160,42 @@ class Network {
     double ingress_busy = 0.0;
   };
 
-  // Sender-side reliable channel bookkeeping.
+  // Sender-side reliable channel bookkeeping. Sequence numbers are dense
+  // (next_seq++ per send), so the unacked set is a contiguous window
+  // [base_seq, base_seq + window.size()) held in a deque — no per-message
+  // map nodes — with `done` marking acked/dropped holes until the front
+  // can advance. One deadline-ordered retransmit timer serves the whole
+  // channel: it is armed at (a lower bound of) the earliest live deadline,
+  // re-scanned and re-armed when it fires, and cancelled when the window
+  // drains. Acks can only push the earliest deadline later, so leaving the
+  // timer in place on ack keeps the bound valid at worst one spurious
+  // wakeup per ack-timeout — far cheaper than the per-message timer
+  // schedule/cancel churn this replaces.
   struct PendingSend {
     NodeId dst = 0;
     uint32_t dst_inc = 0;  // receiver incarnation the channel targets
     PayloadPtr payload;
-    double timeout = 0.0;
+    double timeout = 0.0;   // current backoff
+    double deadline = 0.0;  // absolute next-retransmit time
     int retries = 0;
-    EventId timer = 0;
+    bool done = false;  // acked (or dropped); awaiting front advance
   };
   struct SendChannel {
     uint64_t next_seq = 1;
-    std::unordered_map<uint64_t, PendingSend> unacked;
+    uint64_t base_seq = 1;  // seq of window.front()
+    std::deque<PendingSend> window;
+    size_t live = 0;  // window entries with done == false
+    EventId timer = 0;
+    double timer_deadline = 0.0;
   };
 
   // Receiver-side ordered-delivery bookkeeping per (src, src_incarnation):
   // reliable channels behave like TCP streams — duplicates are dropped and
   // out-of-order arrivals are held until the sequence gap fills.
+  // Transport acks are coalesced: the first reliable arrival schedules one
+  // ack carrying the channel's cumulative contiguous sequence plus the
+  // selectively-received (held) sequences; arrivals while that ack is in
+  // flight are folded into it instead of scheduling their own events.
   struct HeldMessage {
     NodeId src = 0;
     PayloadPtr payload;
@@ -184,6 +203,7 @@ class Network {
   struct RecvChannel {
     uint64_t contiguous = 0;                  // all seq <= this delivered
     std::map<uint64_t, HeldMessage> held;     // arrived out of order
+    bool ack_pending = false;                 // a cumulative ack is in flight
   };
 
   // A channel is one "TCP connection": it exists between specific
@@ -203,9 +223,12 @@ class Network {
                     uint32_t dst_inc, uint64_t seq, PayloadPtr payload,
                     bool reliable);
   void EnqueueAtNode(NodeId src, NodeId dst, PayloadPtr payload);
-  void DeliverTransportAck(NodeId src, uint32_t src_inc, NodeId dst,
-                           uint32_t dst_inc, uint64_t seq);
-  void ScheduleRetransmit(uint64_t channel_key, uint64_t seq, NodeId src);
+  void DeliverCumulativeAck(NodeId src, uint32_t src_inc, NodeId dst,
+                            uint32_t dst_inc);
+  void EnsureChannelTimer(uint64_t channel_key, SendChannel& ch,
+                          double deadline);
+  void ChannelTimerFired(uint64_t channel_key);
+  static void TrimWindow(SendChannel& ch);
   void SchedulePump(NodeId id);
   void Pump(NodeId id, uint32_t incarnation);
   double SampleLatency();

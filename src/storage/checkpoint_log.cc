@@ -40,7 +40,7 @@ Status CheckpointLog::Open(const std::string& path) {
 }
 
 Status CheckpointLog::Append(LoopId loop, VertexId vertex, Iteration iteration,
-                             const std::vector<uint8_t>& value) {
+                             const uint8_t* data, size_t size) {
   if (file_ == nullptr) return Status::FailedPrecondition("log not open");
   std::vector<uint8_t> record;
   record.resize(sizeof(uint32_t) + sizeof(uint64_t) * 2 + sizeof(uint32_t));
@@ -51,9 +51,9 @@ Status CheckpointLog::Append(LoopId loop, VertexId vertex, Iteration iteration,
   p += sizeof(vertex);
   std::memcpy(p, &iteration, sizeof(iteration));
   p += sizeof(iteration);
-  const uint32_t len = static_cast<uint32_t>(value.size());
+  const uint32_t len = static_cast<uint32_t>(size);
   std::memcpy(p, &len, sizeof(len));
-  record.insert(record.end(), value.begin(), value.end());
+  record.insert(record.end(), data, data + size);
   const uint32_t crc = Crc32c(record.data(), record.size());
 
   if (std::fwrite(record.data(), 1, record.size(), file_) != record.size() ||

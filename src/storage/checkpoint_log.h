@@ -35,7 +35,11 @@ class CheckpointLog {
 
   /// Appends one version record and fsync-equivalently flushes it.
   Status Append(LoopId loop, VertexId vertex, Iteration iteration,
-                const std::vector<uint8_t>& value);
+                const uint8_t* data, size_t size);
+  Status Append(LoopId loop, VertexId vertex, Iteration iteration,
+                const std::vector<uint8_t>& value) {
+    return Append(loop, vertex, iteration, value.data(), value.size());
+  }
 
   /// Replays all intact records into `store` (later records win). Stops at
   /// the first torn/corrupt record, mimicking WAL recovery semantics.

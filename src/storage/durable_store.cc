@@ -24,8 +24,7 @@ Result<size_t> DurableStore::Open(const std::string& path) {
     Iteration newest = 0;
     bool any = false;
     for (VertexId v : store_.VerticesOf(loop)) {
-      const auto* latest = store_.GetLatest(loop, v);
-      if (latest == nullptr) continue;
+      if (!store_.GetLatest(loop, v)) continue;
       const Iteration it = store_.GetVersionIteration(loop, v, kNoIteration - 1);
       newest = std::max(newest, it);
       any = true;
@@ -67,10 +66,12 @@ Result<size_t> DurableStore::Flush(LoopId loop, Iteration iteration) {
   for (VertexId v : vertices) {
     // Walk this vertex's chain between the watermarks.
     Iteration at = iteration;
-    std::vector<std::pair<Iteration, const std::vector<uint8_t>*>> pending;
+    // VersionViews stay valid across this collect-then-append: nothing
+    // below mutates the store until the trailing Flush.
+    std::vector<std::pair<Iteration, VersionView>> pending;
     while (true) {
-      const auto* value = store_.Get(loop, v, at);
-      if (value == nullptr) break;
+      const VersionView value = store_.Get(loop, v, at);
+      if (!value) break;
       const Iteration version = store_.GetVersionIteration(loop, v, at);
       if (old_watermark != kNoIteration && version <= old_watermark) break;
       pending.emplace_back(version, value);
@@ -78,7 +79,9 @@ Result<size_t> DurableStore::Flush(LoopId loop, Iteration iteration) {
       at = version - 1;
     }
     for (auto it = pending.rbegin(); it != pending.rend(); ++it) {
-      if (Status s = log_.Append(loop, v, it->first, *it->second); !s.ok()) {
+      if (Status s = log_.Append(loop, v, it->first, it->second.data(),
+                                 it->second.size());
+          !s.ok()) {
         return s;
       }
       ++persisted;

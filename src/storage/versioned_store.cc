@@ -8,22 +8,54 @@
 namespace tornado {
 
 namespace {
+
 bool CoveredBy(Iteration iter, Iteration watermark) {
   return watermark != kNoIteration && iter <= watermark;
 }
+
 }  // namespace
 
 void VersionedStore::Put(LoopId loop, VertexId vertex, Iteration iteration,
                          std::vector<uint8_t> value) {
-  LoopData& data = loops_[loop];
-  Chain& chain = data.chains[vertex];
-  auto [it, inserted] = chain.versions.emplace(iteration, std::move(value));
-  if (!inserted) {
-    it->second = std::move(value);
+  PutBytes(loop, vertex, iteration, value.data(), value.size());
+}
+
+void VersionedStore::PutBytes(LoopId loop, VertexId vertex,
+                              Iteration iteration, const uint8_t* data,
+                              size_t size) {
+  LoopData& loop_data = loops_[loop];
+  Chain& chain = loop_data.chains[vertex];
+
+  const uint64_t offset = loop_data.arena.size();
+  loop_data.arena.insert(loop_data.arena.end(), data, data + size);
+  loop_data.live_bytes += size;
+
+  VersionEntry entry;
+  entry.iteration = iteration;
+  entry.length = static_cast<uint32_t>(size);
+  entry.offset = offset;
+
+  auto& entries = chain.entries;
+  if (entries.empty() || entries.back().iteration < iteration) {
+    // Hot path: commits arrive in increasing iteration order.
+    entries.push_back(entry);
+  } else {
+    auto it = std::lower_bound(
+        entries.begin(), entries.end(), iteration,
+        [](const VersionEntry& e, Iteration at) { return e.iteration < at; });
+    if (it != entries.end() && it->iteration == iteration) {
+      // Overwrite: the new bytes are already in the arena; the old ones
+      // become garbage. The argument bytes were consumed before any
+      // bookkeeping, so overwrites can never store a moved-from value.
+      ReleaseEntry(loop_data, *it);
+      it->length = entry.length;
+      it->offset = entry.offset;
+      MaybeCompact(loop_data);
+      return;
+    }
+    entries.insert(it, entry);
   }
-  if (inserted && !CoveredBy(iteration, data.durable)) {
-    ++data.dirty;
-  }
+  if (!CoveredBy(iteration, loop_data.durable)) ++loop_data.dirty;
 }
 
 const VersionedStore::Chain* VersionedStore::FindChain(LoopId loop,
@@ -35,29 +67,70 @@ const VersionedStore::Chain* VersionedStore::FindChain(LoopId loop,
   return &chain_it->second;
 }
 
-const std::vector<uint8_t>* VersionedStore::Get(LoopId loop, VertexId vertex,
-                                                Iteration at) const {
-  const Chain* chain = FindChain(loop, vertex);
-  if (chain == nullptr || chain->versions.empty()) return nullptr;
-  auto it = chain->versions.upper_bound(at);
-  if (it == chain->versions.begin()) return nullptr;
-  return &std::prev(it)->second;
+VersionView VersionedStore::ViewOf(const LoopData& data,
+                                   const VersionEntry& entry) const {
+  return VersionView(data.arena.data() + entry.offset, entry.length);
+}
+
+void VersionedStore::ReleaseEntry(LoopData& data, const VersionEntry& entry) {
+  TCHECK_GE(data.live_bytes, entry.length);
+  data.live_bytes -= entry.length;
+}
+
+void VersionedStore::MaybeCompact(LoopData& data) {
+  const size_t garbage = data.arena.size() - data.live_bytes;
+  if (garbage < 4096 || garbage <= data.live_bytes) return;
+  // Rewrite every live payload into a fresh arena. Chain iteration order
+  // is untouched; only offsets move, which nothing observable depends on.
+  std::vector<uint8_t> compacted;
+  compacted.reserve(data.live_bytes);
+  for (auto& [vertex, chain] : data.chains) {
+    for (VersionEntry& entry : chain.entries) {
+      const uint64_t offset = compacted.size();
+      compacted.insert(compacted.end(), data.arena.begin() + entry.offset,
+                       data.arena.begin() + entry.offset + entry.length);
+      entry.offset = offset;
+    }
+  }
+  TCHECK_EQ(compacted.size(), data.live_bytes);
+  data.arena = std::move(compacted);
+  ++data.compactions;
+}
+
+VersionView VersionedStore::Get(LoopId loop, VertexId vertex,
+                                Iteration at) const {
+  auto loop_it = loops_.find(loop);
+  if (loop_it == loops_.end()) return {};
+  auto chain_it = loop_it->second.chains.find(vertex);
+  if (chain_it == loop_it->second.chains.end()) return {};
+  const auto& entries = chain_it->second.entries;
+  auto it = std::upper_bound(
+      entries.begin(), entries.end(), at,
+      [](Iteration at_, const VersionEntry& e) { return at_ < e.iteration; });
+  if (it == entries.begin()) return {};
+  return ViewOf(loop_it->second, *std::prev(it));
 }
 
 Iteration VersionedStore::GetVersionIteration(LoopId loop, VertexId vertex,
                                               Iteration at) const {
   const Chain* chain = FindChain(loop, vertex);
-  if (chain == nullptr || chain->versions.empty()) return kNoIteration;
-  auto it = chain->versions.upper_bound(at);
-  if (it == chain->versions.begin()) return kNoIteration;
-  return std::prev(it)->first;
+  if (chain == nullptr || chain->entries.empty()) return kNoIteration;
+  const auto& entries = chain->entries;
+  auto it = std::upper_bound(
+      entries.begin(), entries.end(), at,
+      [](Iteration at_, const VersionEntry& e) { return at_ < e.iteration; });
+  if (it == entries.begin()) return kNoIteration;
+  return std::prev(it)->iteration;
 }
 
-const std::vector<uint8_t>* VersionedStore::GetLatest(LoopId loop,
-                                                      VertexId vertex) const {
-  const Chain* chain = FindChain(loop, vertex);
-  if (chain == nullptr || chain->versions.empty()) return nullptr;
-  return &chain->versions.rbegin()->second;
+VersionView VersionedStore::GetLatest(LoopId loop, VertexId vertex) const {
+  auto loop_it = loops_.find(loop);
+  if (loop_it == loops_.end()) return {};
+  auto chain_it = loop_it->second.chains.find(vertex);
+  if (chain_it == loop_it->second.chains.end()) return {};
+  const auto& entries = chain_it->second.entries;
+  if (entries.empty()) return {};
+  return ViewOf(loop_it->second, entries.back());
 }
 
 std::vector<VertexId> VersionedStore::VerticesOf(LoopId loop) const {
@@ -66,7 +139,7 @@ std::vector<VertexId> VersionedStore::VerticesOf(LoopId loop) const {
   if (it == loops_.end()) return out;
   out.reserve(it->second.chains.size());
   for (const auto& [vertex, chain] : it->second.chains) {
-    if (!chain.versions.empty()) out.push_back(vertex);
+    if (!chain.entries.empty()) out.push_back(vertex);
   }
   // Sorted listing: callers (fork/restart loading) drive prepare rounds in
   // this order, so it must not depend on hash-table layout.
@@ -80,7 +153,13 @@ std::vector<VertexId> VersionedStore::VerticesWithVersionAt(
   auto it = loops_.find(loop);
   if (it == loops_.end()) return out;
   for (const auto& [vertex, chain] : it->second.chains) {
-    if (chain.versions.count(iteration) > 0) out.push_back(vertex);
+    const auto& entries = chain.entries;
+    auto pos = std::lower_bound(
+        entries.begin(), entries.end(), iteration,
+        [](const VersionEntry& e, Iteration at) { return e.iteration < at; });
+    if (pos != entries.end() && pos->iteration == iteration) {
+      out.push_back(vertex);
+    }
   }
   std::sort(out.begin(), out.end());  // deterministic adoption order
   return out;
@@ -88,7 +167,7 @@ std::vector<VertexId> VersionedStore::VerticesWithVersionAt(
 
 size_t VersionedStore::VersionCount(LoopId loop, VertexId vertex) const {
   const Chain* chain = FindChain(loop, vertex);
-  return chain == nullptr ? 0 : chain->versions.size();
+  return chain == nullptr ? 0 : chain->entries.size();
 }
 
 size_t VersionedStore::Flush(LoopId loop, Iteration iteration) {
@@ -99,9 +178,9 @@ size_t VersionedStore::Flush(LoopId loop, Iteration iteration) {
 
   size_t flushed = 0;
   for (const auto& [vertex, chain] : data.chains) {
-    for (const auto& [ver_iter, value] : chain.versions) {
-      if (ver_iter > iteration) break;
-      if (!CoveredBy(ver_iter, data.durable)) ++flushed;
+    for (const VersionEntry& entry : chain.entries) {
+      if (entry.iteration > iteration) break;
+      if (!CoveredBy(entry.iteration, data.durable)) ++flushed;
     }
   }
   data.durable = iteration;
@@ -125,18 +204,23 @@ void VersionedStore::TruncateAfter(LoopId loop, Iteration iteration) {
   if (it == loops_.end()) return;
   LoopData& data = it->second;
   for (auto& [vertex, chain] : data.chains) {
-    auto first_gone = chain.versions.upper_bound(iteration);
-    for (auto v = first_gone; v != chain.versions.end(); ++v) {
-      if (!CoveredBy(v->first, data.durable)) {
+    auto& entries = chain.entries;
+    auto first_gone = std::upper_bound(
+        entries.begin(), entries.end(), iteration,
+        [](Iteration at, const VersionEntry& e) { return at < e.iteration; });
+    for (auto v = first_gone; v != entries.end(); ++v) {
+      if (!CoveredBy(v->iteration, data.durable)) {
         TCHECK_GT(data.dirty, 0u);
         --data.dirty;
       }
+      ReleaseEntry(data, *v);
     }
-    chain.versions.erase(first_gone, chain.versions.end());
+    entries.erase(first_gone, entries.end());
   }
   if (data.durable != kNoIteration && data.durable > iteration) {
     data.durable = iteration;
   }
+  MaybeCompact(data);
 }
 
 size_t VersionedStore::PruneBelow(LoopId loop, Iteration iteration) {
@@ -145,18 +229,23 @@ size_t VersionedStore::PruneBelow(LoopId loop, Iteration iteration) {
   LoopData& data = it->second;
   size_t removed = 0;
   for (auto& [vertex, chain] : data.chains) {
-    auto keep = chain.versions.upper_bound(iteration);
-    if (keep == chain.versions.begin()) continue;
+    auto& entries = chain.entries;
+    auto keep = std::upper_bound(
+        entries.begin(), entries.end(), iteration,
+        [](Iteration at, const VersionEntry& e) { return at < e.iteration; });
+    if (keep == entries.begin()) continue;
     --keep;  // newest version <= iteration stays: it is the snapshot base
-    for (auto v = chain.versions.begin(); v != keep; ++v) {
-      if (!CoveredBy(v->first, data.durable)) {
+    for (auto v = entries.begin(); v != keep; ++v) {
+      if (!CoveredBy(v->iteration, data.durable)) {
         TCHECK_GT(data.dirty, 0u);
         --data.dirty;
       }
+      ReleaseEntry(data, *v);
       ++removed;
     }
-    chain.versions.erase(chain.versions.begin(), keep);
+    entries.erase(entries.begin(), keep);
   }
+  MaybeCompact(data);
   return removed;
 }
 
@@ -176,20 +265,24 @@ void VersionedStore::DropLoop(LoopId loop) { loops_.erase(loop); }
 size_t VersionedStore::ForkLoop(LoopId src, Iteration iteration, LoopId dst) {
   auto src_it = loops_.find(src);
   if (src_it == loops_.end()) return 0;
-  size_t copied = 0;
-  // Collect first: dst may alias internal rehash if src == dst is misused.
   TCHECK_NE(src, dst);
-  std::vector<std::pair<VertexId, std::vector<uint8_t>>> snapshot;
+  // Snapshot (vertex, arena pointer) pairs first: creating dst below may
+  // rehash loops_, but the src arena's heap buffer does not move, so the
+  // collected views stay valid. Puts target dst's arena only (src != dst).
+  std::vector<std::pair<VertexId, VersionView>> snapshot;
+  snapshot.reserve(src_it->second.chains.size());
   for (const auto& [vertex, chain] : src_it->second.chains) {
-    auto v = chain.versions.upper_bound(iteration);
-    if (v == chain.versions.begin()) continue;
-    snapshot.emplace_back(vertex, std::prev(v)->second);
+    const auto& entries = chain.entries;
+    auto v = std::upper_bound(
+        entries.begin(), entries.end(), iteration,
+        [](Iteration at, const VersionEntry& e) { return at < e.iteration; });
+    if (v == entries.begin()) continue;
+    snapshot.emplace_back(vertex, ViewOf(src_it->second, *std::prev(v)));
   }
-  for (auto& [vertex, value] : snapshot) {
-    Put(dst, vertex, 0, std::move(value));
-    ++copied;
+  for (const auto& [vertex, view] : snapshot) {
+    PutBytes(dst, vertex, 0, view.data(), view.size());
   }
-  return copied;
+  return snapshot.size();
 }
 
 size_t VersionedStore::MergeLoop(LoopId src, LoopId dst,
@@ -197,35 +290,40 @@ size_t VersionedStore::MergeLoop(LoopId src, LoopId dst,
   auto src_it = loops_.find(src);
   if (src_it == loops_.end()) return 0;
   TCHECK_NE(src, dst);
-  size_t merged = 0;
-  std::vector<std::pair<VertexId, std::vector<uint8_t>>> latest;
+  std::vector<std::pair<VertexId, VersionView>> latest;
+  latest.reserve(src_it->second.chains.size());
   for (const auto& [vertex, chain] : src_it->second.chains) {
-    if (chain.versions.empty()) continue;
-    latest.emplace_back(vertex, chain.versions.rbegin()->second);
+    if (chain.entries.empty()) continue;
+    latest.emplace_back(vertex, ViewOf(src_it->second, chain.entries.back()));
   }
-  for (auto& [vertex, value] : latest) {
-    Put(dst, vertex, dst_iteration, std::move(value));
-    ++merged;
+  for (const auto& [vertex, view] : latest) {
+    PutBytes(dst, vertex, dst_iteration, view.data(), view.size());
   }
-  return merged;
+  return latest.size();
 }
 
 size_t VersionedStore::TotalVersions() const {
   size_t n = 0;
   for (const auto& [loop, data] : loops_) {
-    for (const auto& [vertex, chain] : data.chains) n += chain.versions.size();
+    for (const auto& [vertex, chain] : data.chains) n += chain.entries.size();
   }
   return n;
 }
 
 size_t VersionedStore::TotalBytes() const {
   size_t n = 0;
-  for (const auto& [loop, data] : loops_) {
-    for (const auto& [vertex, chain] : data.chains) {
-      for (const auto& [iter, value] : chain.versions) n += value.size();
-    }
-  }
+  for (const auto& [loop, data] : loops_) n += data.live_bytes;
   return n;
+}
+
+size_t VersionedStore::ArenaBytes(LoopId loop) const {
+  auto it = loops_.find(loop);
+  return it == loops_.end() ? 0 : it->second.arena.size();
+}
+
+uint64_t VersionedStore::ArenaCompactions(LoopId loop) const {
+  auto it = loops_.find(loop);
+  return it == loops_.end() ? 0 : it->second.compactions;
 }
 
 }  // namespace tornado

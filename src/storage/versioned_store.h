@@ -2,7 +2,6 @@
 #define TORNADO_STORAGE_VERSIONED_STORE_H_
 
 #include <cstdint>
-#include <map>
 #include <unordered_map>
 #include <vector>
 
@@ -10,6 +9,35 @@
 #include "common/types.h"
 
 namespace tornado {
+
+/// Borrowed, non-owning view of one stored version's bytes. Returned by
+/// the store's read API instead of a pointer to an owned vector: versions
+/// live packed in a per-loop arena, so there is no per-version container
+/// to point at. A default-constructed view is "absent" (tests false);
+/// present views may legitimately be empty (zero-length value).
+///
+/// Lifetime: valid until the next mutation of the owning store (a Put may
+/// grow or compact the arena; Truncate/Prune/Drop compact or free it) —
+/// the same read-then-act-before-writing discipline callers already
+/// needed when erasing map nodes invalidated the old vector pointers.
+class VersionView {
+ public:
+  VersionView() = default;
+  VersionView(const uint8_t* data, size_t size)
+      : data_(data), size_(size), present_(true) {}
+
+  explicit operator bool() const { return present_; }
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  uint8_t operator[](size_t i) const { return data_[i]; }
+  std::vector<uint8_t> ToVector() const { return {data_, data_ + size_}; }
+
+ private:
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  bool present_ = false;
+};
 
 /// Multi-versioned vertex-state store: the stand-in for the external
 /// database (PostgreSQL / LMDB) Tornado materializes vertex versions into.
@@ -26,22 +54,34 @@ namespace tornado {
 /// a Flush covering its iteration (processors flush before reporting
 /// progress, Section 5.3). Recovery truncates each chain back to the
 /// durable watermark.
+///
+/// Layout: each chain is a flat iteration-sorted vector of
+/// (iteration, length, offset) entries whose bytes live in a per-loop
+/// append-only arena — one arena append and at most one 16-byte entry
+/// insert per Put, and snapshot reads are a binary search plus a pointer
+/// into the arena (no map nodes, no per-version vector allocations).
+/// Pruning and truncation leave garbage bytes behind; the arena compacts
+/// itself once garbage exceeds the live volume.
 class VersionedStore {
  public:
   /// Appends (or overwrites) the version of `vertex` at `iteration`.
   void Put(LoopId loop, VertexId vertex, Iteration iteration,
            std::vector<uint8_t> value);
 
-  /// Latest version with iteration <= `at`, or nullptr if none exists.
-  const std::vector<uint8_t>* Get(LoopId loop, VertexId vertex,
-                                  Iteration at) const;
+  /// Same, from a borrowed byte range (no intermediate vector). `data` must
+  /// not alias this store's own arenas unless the loops differ.
+  void PutBytes(LoopId loop, VertexId vertex, Iteration iteration,
+                const uint8_t* data, size_t size);
+
+  /// Latest version with iteration <= `at`, or an absent view if none.
+  VersionView Get(LoopId loop, VertexId vertex, Iteration at) const;
 
   /// Iteration of the version returned by Get, or kNoIteration.
   Iteration GetVersionIteration(LoopId loop, VertexId vertex,
                                 Iteration at) const;
 
-  /// Latest version regardless of iteration, or nullptr.
-  const std::vector<uint8_t>* GetLatest(LoopId loop, VertexId vertex) const;
+  /// Latest version regardless of iteration, or an absent view.
+  VersionView GetLatest(LoopId loop, VertexId vertex) const;
 
   /// All vertices that have at least one version in `loop`.
   std::vector<VertexId> VerticesOf(LoopId loop) const;
@@ -94,19 +134,35 @@ class VersionedStore {
   size_t TotalVersions() const;
   size_t TotalBytes() const;
 
+  /// Arena introspection for tests: physical arena bytes (live + garbage)
+  /// of `loop`, and how many compactions it has run.
+  size_t ArenaBytes(LoopId loop) const;
+  uint64_t ArenaCompactions(LoopId loop) const;
+
  private:
+  // 16 bytes per version; chains stay iteration-sorted (commits arrive in
+  // increasing iteration order, so inserts are almost always push_backs).
+  struct VersionEntry {
+    Iteration iteration = 0;
+    uint32_t length = 0;
+    uint64_t offset = 0;  // into LoopData::arena
+  };
   struct Chain {
-    // iteration -> serialized state. std::map keeps versions ordered so
-    // snapshot reads are upper_bound lookups.
-    std::map<Iteration, std::vector<uint8_t>> versions;
+    std::vector<VersionEntry> entries;
   };
   struct LoopData {
     std::unordered_map<VertexId, Chain> chains;
+    std::vector<uint8_t> arena;  // append-only until compaction
+    size_t live_bytes = 0;       // arena bytes referenced by some entry
+    uint64_t compactions = 0;
     Iteration durable = kNoIteration;
     size_t dirty = 0;
   };
 
   const Chain* FindChain(LoopId loop, VertexId vertex) const;
+  VersionView ViewOf(const LoopData& data, const VersionEntry& entry) const;
+  void ReleaseEntry(LoopData& data, const VersionEntry& entry);
+  void MaybeCompact(LoopData& data);
 
   std::unordered_map<LoopId, LoopData> loops_;
 };

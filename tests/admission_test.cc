@@ -120,12 +120,10 @@ TEST_F(DurableStoreTest, FlushPersistsAcrossReopen) {
     auto opened = durable.Open(path_);
     ASSERT_TRUE(opened.ok());
     EXPECT_EQ(*opened, 3u);
-    EXPECT_EQ((*durable.store().Get(0, 1, 3))[0], 20);
-    EXPECT_EQ((*durable.store().Get(0, 2, 3))[0], 22);
-    EXPECT_EQ(durable.store().Get(0, 1, 10) == nullptr
-                  ? 0
-                  : (*durable.store().Get(0, 1, 10))[0],
-              20)
+    EXPECT_EQ(durable.store().Get(0, 1, 3)[0], 20);
+    EXPECT_EQ(durable.store().Get(0, 2, 3)[0], 22);
+    const VersionView at10 = durable.store().Get(0, 1, 10);
+    EXPECT_EQ(!at10 ? 0 : at10[0], 20)
         << "unflushed version must not survive the restart";
   }
 }

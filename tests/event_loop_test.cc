@@ -233,5 +233,67 @@ TEST(EventLoopBudgetTest, ExhaustedBudgetWithDrainedQueueStillReachesDeadline) {
   EXPECT_DOUBLE_EQ(loop.now(), 1.0);
 }
 
+
+// ---------------------------------------------------------------------------
+// Slot-slab behavior: eager reclamation, free-list reuse, heap compaction.
+// ---------------------------------------------------------------------------
+
+TEST(EventLoopSlabTest, MassCancelReclaimsSlotsAndCompactsHeap) {
+  EventLoop loop;
+  constexpr size_t kN = 1000000;
+  std::vector<EventId> ids;
+  ids.reserve(kN);
+  for (size_t i = 0; i < kN; ++i) {
+    ids.push_back(loop.Schedule(1e9 + static_cast<double>(i), []() {}));
+  }
+  EXPECT_EQ(loop.pending(), kN);
+  const size_t cap = loop.slot_capacity();
+  EXPECT_EQ(cap, kN);
+
+  for (EventId id : ids) loop.Cancel(id);
+  EXPECT_EQ(loop.pending(), 0u);
+  EXPECT_TRUE(loop.empty());
+  // Far-future tombstones must not sit in the heap until their fire time:
+  // compaction sweeps them once they dominate.
+  EXPECT_LT(loop.heap_size(), 128u);
+
+  // Free-list reuse: a second full wave fits in the reclaimed slots
+  // without growing the slab.
+  for (size_t i = 0; i < kN; ++i) loop.Schedule(1.0, []() {});
+  EXPECT_EQ(loop.slot_capacity(), cap);
+  EXPECT_EQ(loop.Run(), kN);
+  EXPECT_EQ(loop.pending(), 0u);
+}
+
+TEST(EventLoopSlabTest, RearmChurnIsBoundedToTwoSlots) {
+  // The retransmit-timer pattern: schedule the replacement, cancel the old
+  // one. Eager reclamation keeps the slab at two slots no matter how long
+  // the churn runs.
+  EventLoop loop;
+  EventId prev = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const EventId id =
+        loop.Schedule(1e6 + static_cast<double>(i), []() {});
+    if (prev != 0) loop.Cancel(prev);
+    prev = id;
+  }
+  loop.Cancel(prev);
+  EXPECT_EQ(loop.pending(), 0u);
+  EXPECT_LE(loop.slot_capacity(), 2u);
+}
+
+TEST(EventLoopSlabTest, StaleIdCannotCancelRecycledSlot) {
+  EventLoop loop;
+  bool fired = false;
+  const EventId a = loop.Schedule(0.1, []() {});
+  loop.Cancel(a);
+  // The next schedule reuses a's slot; the stale id must not reach it.
+  const EventId b = loop.Schedule(0.2, [&]() { fired = true; });
+  EXPECT_NE(a, b);
+  loop.Cancel(a);
+  loop.Run();
+  EXPECT_TRUE(fired);
+}
+
 }  // namespace
 }  // namespace tornado

@@ -195,5 +195,32 @@ TEST_F(NetworkTest, MetricsCountTraffic) {
   EXPECT_EQ(network->metrics().Get(metric::kMessagesDelivered), 5);
 }
 
+
+TEST_F(NetworkTest, BurstCoalescesAcksAndFiresFewerEventsPerMessage) {
+  // Steady-state event cost per delivered reliable message. The old
+  // transport fired at least four events per message on a cross-host burst
+  // (egress NIC hop, ingress NIC hop, one transport ack per message, plus
+  // ~one service-queue pump); cumulative acks fold the per-message ack
+  // events away, so the burst must land strictly below that bound.
+  Init(2, 2);
+  constexpr int kN = 200;
+  for (int i = 0; i < kN; ++i) Send(0, 1, i);
+  const uint64_t fired = loop.Run();
+
+  ASSERT_EQ(sinks[1]->received.size(), static_cast<size_t>(kN));
+  for (int i = 0; i < kN; ++i) EXPECT_EQ(sinks[1]->received[i].second, i);
+  EXPECT_EQ(network->metrics().Get(metric::kMessagesDelivered), kN);
+  EXPECT_EQ(network->metrics().Get(metric::kMessagesRetransmitted), 0);
+
+  EXPECT_LT(fired, static_cast<uint64_t>(3.5 * kN))
+      << "per-message-ack transports cannot go below 4 events/message";
+  // Arrivals spaced one NIC wire time apart share acks that travel one
+  // network latency: coalescing must collapse them well below one ack per
+  // message (each ack covers ~net_latency / nic_wire_time arrivals).
+  const int64_t acks = network->metrics().Get(metric::kTransportAcks);
+  EXPECT_GT(acks, 0);
+  EXPECT_LT(acks, kN / 2);
+}
+
 }  // namespace
 }  // namespace tornado

@@ -20,12 +20,12 @@ TEST(VersionedStoreTest, SnapshotReadsLatestAtOrBelow) {
   store.Put(0, 7, 5, Bytes({5}));
   store.Put(0, 7, 9, Bytes({9}));
 
-  EXPECT_EQ(store.Get(0, 7, 0), nullptr);
-  EXPECT_EQ((*store.Get(0, 7, 1))[0], 1);
-  EXPECT_EQ((*store.Get(0, 7, 4))[0], 1);
-  EXPECT_EQ((*store.Get(0, 7, 5))[0], 5);
-  EXPECT_EQ((*store.Get(0, 7, 100))[0], 9);
-  EXPECT_EQ((*store.GetLatest(0, 7))[0], 9);
+  EXPECT_FALSE(store.Get(0, 7, 0));
+  EXPECT_EQ(store.Get(0, 7, 1)[0], 1);
+  EXPECT_EQ(store.Get(0, 7, 4)[0], 1);
+  EXPECT_EQ(store.Get(0, 7, 5)[0], 5);
+  EXPECT_EQ(store.Get(0, 7, 100)[0], 9);
+  EXPECT_EQ(store.GetLatest(0, 7)[0], 9);
   EXPECT_EQ(store.GetVersionIteration(0, 7, 7), 5u);
   EXPECT_EQ(store.GetVersionIteration(0, 7, 0), kNoIteration);
 }
@@ -35,7 +35,7 @@ TEST(VersionedStoreTest, OverwriteSameIteration) {
   store.Put(0, 1, 3, Bytes({1}));
   store.Put(0, 1, 3, Bytes({2}));
   EXPECT_EQ(store.VersionCount(0, 1), 1u);
-  EXPECT_EQ((*store.Get(0, 1, 3))[0], 2);
+  EXPECT_EQ(store.Get(0, 1, 3)[0], 2);
 }
 
 TEST(VersionedStoreTest, FlushTracksDurabilityAndDirtyCount) {
@@ -60,7 +60,7 @@ TEST(VersionedStoreTest, TruncateAfterDropsNewerVersions) {
   }
   store.TruncateAfter(0, 3);
   EXPECT_EQ(store.VersionCount(0, 1), 3u);
-  EXPECT_EQ((*store.GetLatest(0, 1))[0], 3);
+  EXPECT_EQ(store.GetLatest(0, 1)[0], 3);
 }
 
 TEST(VersionedStoreTest, RecoverToDurableDropsUnflushed) {
@@ -69,12 +69,12 @@ TEST(VersionedStoreTest, RecoverToDurableDropsUnflushed) {
   store.Flush(0, 1);
   store.Put(0, 1, 2, Bytes({2}));
   store.RecoverToDurable(0);
-  EXPECT_EQ((*store.GetLatest(0, 1))[0], 1);
+  EXPECT_EQ(store.GetLatest(0, 1)[0], 1);
 
   // A never-flushed loop disappears entirely.
   store.Put(9, 1, 1, Bytes({1}));
   store.RecoverToDurable(9);
-  EXPECT_EQ(store.GetLatest(9, 1), nullptr);
+  EXPECT_FALSE(store.GetLatest(9, 1));
 }
 
 TEST(VersionedStoreTest, PruneBelowKeepsSnapshotBase) {
@@ -83,9 +83,9 @@ TEST(VersionedStoreTest, PruneBelowKeepsSnapshotBase) {
     store.Put(0, 1, i, Bytes({static_cast<uint8_t>(i)}));
   }
   EXPECT_EQ(store.PruneBelow(0, 4), 3u);  // versions 1,2,3 dropped; 4 kept
-  EXPECT_EQ((*store.Get(0, 1, 4))[0], 4);
-  EXPECT_EQ(store.Get(0, 1, 3), nullptr);
-  EXPECT_EQ((*store.GetLatest(0, 1))[0], 6);
+  EXPECT_EQ(store.Get(0, 1, 4)[0], 4);
+  EXPECT_FALSE(store.Get(0, 1, 3));
+  EXPECT_EQ(store.GetLatest(0, 1)[0], 6);
 }
 
 TEST(VersionedStoreTest, ForkCopiesSnapshotIntoBranch) {
@@ -94,8 +94,8 @@ TEST(VersionedStoreTest, ForkCopiesSnapshotIntoBranch) {
   store.Put(0, 1, 8, Bytes({8}));
   store.Put(0, 2, 3, Bytes({3}));
   EXPECT_EQ(store.ForkLoop(0, 5, 1), 2u);
-  EXPECT_EQ((*store.Get(1, 1, 0))[0], 2);  // not the iteration-8 version
-  EXPECT_EQ((*store.Get(1, 2, 0))[0], 3);
+  EXPECT_EQ(store.Get(1, 1, 0)[0], 2);  // not the iteration-8 version
+  EXPECT_EQ(store.Get(1, 2, 0)[0], 3);
 }
 
 TEST(VersionedStoreTest, MergeWritesLatestAtIteration) {
@@ -103,8 +103,8 @@ TEST(VersionedStoreTest, MergeWritesLatestAtIteration) {
   store.Put(1, 1, 4, Bytes({44}));
   store.Put(0, 1, 2, Bytes({2}));
   EXPECT_EQ(store.MergeLoop(1, 0, 10), 1u);
-  EXPECT_EQ((*store.Get(0, 1, 10))[0], 44);
-  EXPECT_EQ((*store.Get(0, 1, 9))[0], 2);
+  EXPECT_EQ(store.Get(0, 1, 10)[0], 44);
+  EXPECT_EQ(store.Get(0, 1, 9)[0], 2);
 }
 
 TEST(VersionedStoreTest, VerticesWithVersionAt) {
@@ -129,6 +129,95 @@ TEST(VersionedStoreTest, AccountingTotals) {
   store.Put(0, 2, 1, Bytes({4}));
   EXPECT_EQ(store.TotalVersions(), 2u);
   EXPECT_EQ(store.TotalBytes(), 4u);
+}
+
+TEST(VersionedStoreTest, OverwriteStoresTheNewBytes) {
+  // Regression: the old map-based Put moved the value into an emplace probe
+  // and could write a moved-from (empty) vector on the overwrite path,
+  // depending on the stdlib's emplace key-extraction behavior. The arena
+  // design consumes the argument bytes before any bookkeeping, so the
+  // overwritten version must always carry the new payload.
+  VersionedStore store;
+  store.Put(0, 1, 3, Bytes({1, 2, 3, 4}));
+  store.Put(0, 1, 3, Bytes({9, 8, 7}));
+  const VersionView got = store.Get(0, 1, 3);
+  ASSERT_TRUE(got);
+  EXPECT_EQ(got.ToVector(), Bytes({9, 8, 7}));
+  EXPECT_EQ(store.VersionCount(0, 1), 1u);
+  EXPECT_EQ(store.TotalBytes(), 3u);  // the old 4 bytes are garbage now
+}
+
+TEST(VersionedStoreTest, PruneBelowBetweenVersionsKeepsNewestAtOrBelow) {
+  // The fork point (iteration 7) falls between versions 5 and 9: exactly
+  // the newest version <= 7 must survive as the snapshot base.
+  VersionedStore store;
+  store.Put(0, 1, 2, Bytes({2}));
+  store.Put(0, 1, 5, Bytes({5}));
+  store.Put(0, 1, 9, Bytes({9}));
+  EXPECT_EQ(store.PruneBelow(0, 7), 1u);  // only version 2 drops
+  EXPECT_FALSE(store.Get(0, 1, 4));
+  EXPECT_EQ(store.Get(0, 1, 7)[0], 5);
+  EXPECT_EQ(store.GetVersionIteration(0, 1, 7), 5u);
+  EXPECT_EQ(store.VersionCount(0, 1), 2u);
+}
+
+TEST(VersionedStoreTest, TruncateAfterRestoresDirtyAcrossDurableWatermark) {
+  VersionedStore store;
+  store.Put(0, 1, 1, Bytes({1}));
+  store.Put(0, 1, 2, Bytes({2}));
+  store.Flush(0, 2);
+  store.Put(0, 1, 3, Bytes({3}));
+  store.Put(0, 1, 4, Bytes({4}));
+  EXPECT_EQ(store.DirtyVersions(0), 2u);
+
+  // Dropping one dirty version restores the pending-I/O count.
+  store.TruncateAfter(0, 3);
+  EXPECT_EQ(store.DirtyVersions(0), 1u);
+  EXPECT_EQ(store.DurableIteration(0), 2u);
+
+  // Truncating below the watermark drops the remaining dirty version and a
+  // durable one: dirty hits zero (not negative) and the watermark follows
+  // the truncation point down.
+  store.TruncateAfter(0, 1);
+  EXPECT_EQ(store.DirtyVersions(0), 0u);
+  EXPECT_EQ(store.DurableIteration(0), 1u);
+  EXPECT_EQ(store.GetLatest(0, 1)[0], 1);
+
+  // A re-put above the lowered watermark counts as dirty again.
+  store.Put(0, 1, 2, Bytes({22}));
+  EXPECT_EQ(store.DirtyVersions(0), 1u);
+}
+
+TEST(VersionedStoreTest, ForkMergeRoundTripSurvivesArenaCompaction) {
+  VersionedStore store;
+  // 50 versions x 256 bytes; pruning 49 of them leaves ~12.5 KiB of
+  // garbage against ~0.5 KiB live — well past the compaction trigger.
+  for (Iteration i = 1; i <= 50; ++i) {
+    store.Put(0, 1, i, std::vector<uint8_t>(256, static_cast<uint8_t>(i)));
+  }
+  store.Put(0, 2, 10, Bytes({42}));
+  EXPECT_EQ(store.ArenaCompactions(0), 0u);
+  EXPECT_EQ(store.PruneBelow(0, 50), 49u);
+  EXPECT_GE(store.ArenaCompactions(0), 1u);
+  // The compacted arena holds exactly the live bytes.
+  EXPECT_EQ(store.ArenaBytes(0), 256u + 1u);
+
+  // Reads after compaction see the surviving payloads at their new offsets.
+  const VersionView kept = store.GetLatest(0, 1);
+  ASSERT_TRUE(kept);
+  ASSERT_EQ(kept.size(), 256u);
+  EXPECT_EQ(kept[0], 50);
+
+  // Fork out of the compacted arena, then merge back into a third loop:
+  // payload bytes must round-trip across both arena copies.
+  EXPECT_EQ(store.ForkLoop(0, 50, 1), 2u);
+  EXPECT_EQ(store.Get(1, 1, 0).ToVector(),
+            std::vector<uint8_t>(256, uint8_t{50}));
+  EXPECT_EQ(store.Get(1, 2, 0)[0], 42);
+  EXPECT_EQ(store.MergeLoop(1, 2, 7), 2u);
+  EXPECT_EQ(store.Get(2, 1, 7).ToVector(),
+            std::vector<uint8_t>(256, uint8_t{50}));
+  EXPECT_EQ(store.Get(2, 2, 7)[0], 42);
 }
 
 // ---------------------------------------------------------------------------
@@ -161,9 +250,9 @@ TEST_F(CheckpointLogTest, AppendAndReplay) {
   auto applied = reader.Replay(path_, &store);
   ASSERT_TRUE(applied.ok());
   EXPECT_EQ(*applied, 3u);
-  EXPECT_EQ((*store.Get(0, 1, 2))[0], 9);
-  EXPECT_EQ((*store.GetLatest(0, 1))[0], 5);
-  EXPECT_EQ((*store.GetLatest(1, 7))[0], 7);
+  EXPECT_EQ(store.Get(0, 1, 2)[0], 9);
+  EXPECT_EQ(store.GetLatest(0, 1)[0], 5);
+  EXPECT_EQ(store.GetLatest(1, 7)[0], 7);
 }
 
 TEST_F(CheckpointLogTest, TornTailIsIgnored) {
@@ -187,8 +276,8 @@ TEST_F(CheckpointLogTest, TornTailIsIgnored) {
   auto applied = reader.Replay(path_, &store);
   ASSERT_TRUE(applied.ok());
   EXPECT_EQ(*applied, 1u);  // only the intact first record
-  EXPECT_NE(store.GetLatest(0, 1), nullptr);
-  EXPECT_EQ(store.GetLatest(0, 2), nullptr);
+  EXPECT_TRUE(store.GetLatest(0, 1));
+  EXPECT_FALSE(store.GetLatest(0, 2));
 }
 
 TEST_F(CheckpointLogTest, ReplayMissingFileIsNotFound) {

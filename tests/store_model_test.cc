@@ -148,12 +148,12 @@ TEST_P(StoreModelTest, RandomOpsAgreeWithModel) {
       const auto l = static_cast<LoopId>(rng.NextUint64(kLoops));
       const auto v = static_cast<VertexId>(rng.NextUint64(kVertices));
       const Iteration at = rng.NextUint64(max_iter[l] + 3);
-      const auto* got = store.Get(l, v, at);
+      const VersionView got = store.Get(l, v, at);
       const auto* want = model.Get(l, v, at);
-      ASSERT_EQ(got == nullptr, want == nullptr)
+      ASSERT_EQ(!got, want == nullptr)
           << "op " << op << " loop " << l << " vertex " << v << " at " << at;
-      if (got != nullptr) {
-        ASSERT_EQ(*got, *want)
+      if (want != nullptr) {
+        ASSERT_EQ(got.ToVector(), *want)
             << "op " << op << " loop " << l << " vertex " << v << " at "
             << at;
       }
