@@ -47,16 +47,16 @@ Run RunOnce(uint64_t bound, double progress_period,
   cluster.ingester().Pause();
   cluster.RunFor(0.5);
 
-  const int64_t msg0 = cluster.network().metrics().Get(metric::kMessagesSent);
+  const int64_t msg0 = cluster.metrics().Get(metric::kMessagesSent);
   const int64_t upd0 =
-      cluster.network().metrics().Get(metric::kUpdatesCommitted);
+      cluster.metrics().Get(metric::kUpdatesCommitted);
   run.latency = MeasureQueryLatency(cluster);
   run.messages =
-      cluster.network().metrics().Get(metric::kMessagesSent) - msg0;
+      cluster.metrics().Get(metric::kMessagesSent) - msg0;
   run.updates =
-      cluster.network().metrics().Get(metric::kUpdatesCommitted) - upd0;
+      cluster.metrics().Get(metric::kUpdatesCommitted) - upd0;
   run.prepares = cluster.master().TotalPrepares(1);
-  run.blocked = cluster.network().metrics().Get(metric::kUpdatesBlocked);
+  run.blocked = cluster.metrics().Get(metric::kUpdatesBlocked);
   return run;
 }
 

@@ -68,7 +68,7 @@ Series RunRate(double rate_value, bool batch_mode) {
   const int kSamples = 20;
   for (int i = 1; i <= kSamples; ++i) {
     const double t = horizon * i / kSamples;
-    cluster.RunUntil([&]() { return cluster.loop().now() >= t; }, 1000.0);
+    cluster.RunUntil([&]() { return cluster.now() >= t; }, 1000.0);
     auto w = ReadSgdWeights(cluster, kMainLoop);
     series.times.push_back(t);
     series.errors.push_back(w.empty() ? -1.0 : ObjectiveOf(w, sample));
@@ -81,8 +81,8 @@ Series RunRate(double rate_value, bool batch_mode) {
   for (int q = 1; q <= 4; ++q) {
     const double t = horizon * q / 4;
     query_cluster.RunUntil(
-        [&]() { return query_cluster.loop().now() >= t; }, 1000.0);
-    series.q_times.push_back(query_cluster.loop().now());
+        [&]() { return query_cluster.now() >= t; }, 1000.0);
+    series.q_times.push_back(query_cluster.now());
     series.q_latency.push_back(MeasureQueryLatency(query_cluster));
   }
   return series;

@@ -67,7 +67,7 @@ Trace RunSchedule(double descent_rate, DescentSchedule schedule) {
   const int kSamples = 16;
   for (int i = 1; i <= kSamples; ++i) {
     const double t = horizon * i / kSamples;
-    cluster.RunUntil([&]() { return cluster.loop().now() >= t; }, 1000.0);
+    cluster.RunUntil([&]() { return cluster.now() >= t; }, 1000.0);
     trace.times.push_back(t);
     auto w = ReadSgdWeights(cluster, kMainLoop);
     trace.errors.push_back(

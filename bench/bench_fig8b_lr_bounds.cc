@@ -56,7 +56,7 @@ Curve RunBound(uint64_t bound) {
 
   const auto sample = ReferenceSample(1500);
   const uint64_t query = cluster.ingester().SubmitQuery();
-  const double start = cluster.loop().now();
+  const double start = cluster.now();
   bool done = false;
   for (int i = 1; i <= 18 && !done; ++i) {
     const double t = start + i * 0.15;
@@ -66,14 +66,14 @@ Curve RunBound(uint64_t bound) {
                cluster.ingester().completed_queries()) {
             if (q.query_id == query) return true;
           }
-          return cluster.loop().now() >= t;
+          return cluster.now() >= t;
         },
         100.0);
     const LoopId branch = cluster.BranchOf(query) != 0
                               ? cluster.BranchOf(query)
                               : 1;  // branch ids start at 1
     auto w = ReadSgdWeights(cluster, branch);
-    curve.times.push_back(cluster.loop().now() - start);
+    curve.times.push_back(cluster.now() - start);
     curve.objective.push_back(
         w.empty() ? -1.0
                   : SgdProgram::Objective(SgdLoss::kLogistic, 1e-4, w,

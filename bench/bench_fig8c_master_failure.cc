@@ -51,18 +51,18 @@ std::vector<int64_t> RunBound(uint64_t bound, double* kill_time,
   (void)cluster.ingester().SubmitQuery();
   cluster.RunFor(kKillAfter);
   *kill_time = kKillAfter;
-  cluster.network().KillNode(cluster.master_node());
+  cluster.transport().KillNode(cluster.master_node());
   cluster.failures().RecoverAt(cluster.master_node(),
-                               cluster.loop().now() + kDowntime);
+                               cluster.now() + kDowntime);
 
   int64_t previous =
-      cluster.network().metrics().Get(metric::kUpdatesCommitted);
+      cluster.metrics().Get(metric::kUpdatesCommitted);
   const int buckets = static_cast<int>((kKillAfter + kDowntime + 1.5) /
                                        kBucket);
   for (int i = 0; i < buckets; ++i) {
     cluster.RunFor(kBucket);
     const int64_t now =
-        cluster.network().metrics().Get(metric::kUpdatesCommitted);
+        cluster.metrics().Get(metric::kUpdatesCommitted);
     updates_per_bucket.push_back(now - previous);
     previous = now;
   }
@@ -77,8 +77,8 @@ std::vector<int64_t> RunBound(uint64_t bound, double* kill_time,
     }
   }
   if (json != nullptr) {
-    json->SetVirtualSeconds(cluster.loop().now());
-    json->AddMetrics(cluster.network().metrics());
+    json->SetVirtualSeconds(cluster.now());
+    json->AddMetrics(cluster.metrics());
   }
   return updates_per_bucket;
 }

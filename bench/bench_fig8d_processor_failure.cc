@@ -54,18 +54,18 @@ std::vector<int64_t> RunBound(uint64_t bound, const BenchArgs* artifacts,
   if (want_trace) cluster.trace()->Resume();
   (void)cluster.ingester().SubmitQuery();
   cluster.RunFor(kKillAfter);
-  cluster.network().KillNode(cluster.processor_node(2));
+  cluster.transport().KillNode(cluster.processor_node(2));
   cluster.failures().RecoverAt(cluster.processor_node(2),
-                               cluster.loop().now() + kDowntime);
+                               cluster.now() + kDowntime);
 
   int64_t previous =
-      cluster.network().metrics().Get(metric::kUpdatesCommitted);
+      cluster.metrics().Get(metric::kUpdatesCommitted);
   const int buckets =
       static_cast<int>((kKillAfter + kDowntime + 1.5) / kBucket);
   for (int i = 0; i < buckets; ++i) {
     cluster.RunFor(kBucket);
     const int64_t now =
-        cluster.network().metrics().Get(metric::kUpdatesCommitted);
+        cluster.metrics().Get(metric::kUpdatesCommitted);
     updates_per_bucket.push_back(now - previous);
     previous = now;
   }
@@ -80,8 +80,8 @@ std::vector<int64_t> RunBound(uint64_t bound, const BenchArgs* artifacts,
     }
   }
   if (json != nullptr) {
-    json->SetVirtualSeconds(cluster.loop().now());
-    json->AddMetrics(cluster.network().metrics());
+    json->SetVirtualSeconds(cluster.now());
+    json->AddMetrics(cluster.metrics());
   }
   return updates_per_bucket;
 }

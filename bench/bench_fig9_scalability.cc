@@ -48,12 +48,12 @@ Measurement Measure(JobConfig config, std::unique_ptr<StreamSource> stream,
   cluster.ingester().Pause();
   cluster.RunFor(0.5);
 
-  const double t0 = cluster.loop().now();
-  const int64_t m0 = cluster.network().metrics().Get(metric::kMessagesSent);
+  const double t0 = cluster.now();
+  const int64_t m0 = cluster.metrics().Get(metric::kMessagesSent);
   m.latency = MeasureQueryLatency(cluster);
-  const double elapsed = cluster.loop().now() - t0;
+  const double elapsed = cluster.now() - t0;
   const int64_t sent =
-      cluster.network().metrics().Get(metric::kMessagesSent) - m0;
+      cluster.metrics().Get(metric::kMessagesSent) - m0;
   if (elapsed > 0) {
     m.messages_per_second = static_cast<double>(sent) / elapsed;
   }

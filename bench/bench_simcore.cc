@@ -14,6 +14,9 @@
 //   --check <path>     compare against a previously committed JSON and exit
 //                      non-zero if el_drain_events_per_sec regressed >30%
 //   --no-json          skip writing the JSON (just print the table)
+//   --backend=sim|thread|both
+//                      which runtime substrate(s) drive the fig5 e2e run
+//                      (default sim; thread measures real OS threads)
 
 #include <chrono>
 #include <cstdio>
@@ -146,10 +149,14 @@ NetBurstResult BenchNetBurst(uint64_t messages) {
 }
 
 // --- 5. End-to-end: a small fig5-style pagerank run, wall seconds. ---
-double BenchPagerankE2E(uint64_t tuples) {
+// On the sim backend this measures the simulator's constant factors; on
+// the thread backend it is a true wall-clock run (ingestion happens in
+// real time, so the rate knob sets a hard floor on the duration).
+double BenchPagerankE2E(uint64_t tuples, SubstrateBackend backend) {
   JobConfig config = PageRankJob(/*delay_bound=*/64);
   config.program = std::make_shared<PageRankProgram>(0.85, 3e-3);
   config.cost.progress_period = 2e-3;
+  config.backend = backend;
   StreamFactory stream = [tuples]() {
     return std::make_unique<GraphStream>(BenchGraph(tuples, /*seed=*/5));
   };
@@ -174,6 +181,8 @@ double JsonNumber(const std::string& text, const std::string& key) {
 int Main(int argc, char** argv) {
   bool smoke = false;
   bool write_json = true;
+  bool run_sim = true;     // which backend(s) drive the fig5 e2e run
+  bool run_thread = false;
   std::string out_path = "BENCH_simcore.json";
   std::string check_path;
   for (int i = 1; i < argc; ++i) {
@@ -182,6 +191,9 @@ int Main(int argc, char** argv) {
     if (arg == "--no-json") write_json = false;
     if (arg == "--out" && i + 1 < argc) out_path = argv[++i];
     if (arg == "--check" && i + 1 < argc) check_path = argv[++i];
+    if (arg == "--backend=sim") { run_sim = true; run_thread = false; }
+    if (arg == "--backend=thread") { run_sim = false; run_thread = true; }
+    if (arg == "--backend=both") { run_sim = true; run_thread = true; }
   }
 
   PrintHeader("Simulation-substrate wall-clock throughput", "BENCH_simcore");
@@ -198,7 +210,10 @@ int Main(int argc, char** argv) {
   const double el_churn = BenchEventLoopChurn(kChurnN);
   const double store_ops = BenchStorePutRead(kVerts, kIters, kReads);
   const NetBurstResult net = BenchNetBurst(kMsgs);
-  const double pagerank_wall = BenchPagerankE2E(kTuples);
+  const double pagerank_wall =
+      run_sim ? BenchPagerankE2E(kTuples, SubstrateBackend::kSim) : 0.0;
+  const double pagerank_wall_thread =
+      run_thread ? BenchPagerankE2E(kTuples, SubstrateBackend::kThread) : 0.0;
 
   Table table({"microbench", "metric", "value"});
   table.AddRow({"event-loop drain", "events/sec", Table::Num(el_drain, 0)});
@@ -207,8 +222,14 @@ int Main(int argc, char** argv) {
   table.AddRow({"reliable channel", "msgs/sec", Table::Num(net.msgs_per_sec, 0)});
   table.AddRow({"reliable channel", "fired events/msg",
                 Table::Num(net.events_per_msg, 2)});
-  table.AddRow({"fig5 pagerank e2e", "wall seconds",
-                Table::Num(pagerank_wall, 2)});
+  if (run_sim) {
+    table.AddRow({"fig5 pagerank e2e (sim)", "wall seconds",
+                  Table::Num(pagerank_wall, 2)});
+  }
+  if (run_thread) {
+    table.AddRow({"fig5 pagerank e2e (thread)", "wall seconds",
+                  Table::Num(pagerank_wall_thread, 2)});
+  }
   table.Print();
 
   if (write_json) {
@@ -221,7 +242,12 @@ int Main(int argc, char** argv) {
     json.AddResult("store_ops_per_sec", store_ops);
     json.AddResult("net_msgs_per_sec", net.msgs_per_sec);
     json.AddResult("net_events_per_msg", net.events_per_msg);
-    json.AddResult("pagerank_e2e_wall_seconds", pagerank_wall);
+    if (run_sim) {
+      json.AddResult("pagerank_e2e_wall_seconds", pagerank_wall);
+    }
+    if (run_thread) {
+      json.AddResult("pagerank_e2e_wall_seconds_thread", pagerank_wall_thread);
+    }
     // Pre-overhaul ("before") numbers: the map/priority-queue event loop,
     // per-message retransmit timers, and std::map version chains, measured
     // on the reference machine with the full (non-smoke) sizes. Committed

@@ -303,7 +303,7 @@ double MeasureQueryLatency(TornadoCluster& cluster, double timeout) {
   if (!cluster.RunUntilQueryDone(query, timeout)) return -1.0;
   const double latency = cluster.QueryLatency(query);
   if (latency >= 0.0) {
-    cluster.network().metrics().Observe(metric::kQueryLatency, latency);
+    cluster.metrics().Observe(metric::kQueryLatency, latency);
   }
   return latency;
 }
@@ -313,7 +313,7 @@ bool RunUntilGathered(TornadoCluster& cluster, uint64_t count,
                       double timeout) {
   return cluster.RunUntil(
       [&]() {
-        return cluster.network().metrics().Get(metric::kInputsGathered) >=
+        return cluster.metrics().Get(metric::kInputsGathered) >=
                static_cast<int64_t>(count);
       },
       timeout);
@@ -341,7 +341,7 @@ Histogram RunBatchSeries(const JobConfig& base_config,
   for (uint64_t boundary = warmup + batch_size;
        boundary <= total && latencies.count() < max_queries;
        boundary += batch_size) {
-    const double epoch_start = cluster.loop().now();
+    const double epoch_start = cluster.now();
     cluster.ingester().Resume();
     if (!cluster.RunUntilEmitted(boundary, 1000.0)) break;
     cluster.ingester().Pause();
@@ -355,8 +355,8 @@ Histogram RunBatchSeries(const JobConfig& base_config,
     // warm start.
     const double next_epoch =
         epoch_start + static_cast<double>(batch_size) / rate;
-    if (cluster.loop().now() < next_epoch) {
-      cluster.RunFor(next_epoch - cluster.loop().now());
+    if (cluster.now() < next_epoch) {
+      cluster.RunFor(next_epoch - cluster.now());
     }
   }
   return latencies;

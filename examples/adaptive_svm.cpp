@@ -82,7 +82,7 @@ int main() {
     std::printf(
         "t=%.2fs  main model ~ truth cosine=%.3f  bold-driver rate=%.4f  "
         "sgd steps=%llu\n",
-        cluster.loop().now(),
+        cluster.now(),
         CosineSimilarity(param.weights, truth->true_weights()), param.rate,
         static_cast<unsigned long long>(param.steps));
   }

@@ -56,7 +56,7 @@ int main() {
 
   // Submit the query, then kill a worker while the branch loop runs.
   const uint64_t query = cluster.ingester().SubmitQuery();
-  const double now = cluster.loop().now();
+  const double now = cluster.now();
   cluster.failures().CrashFor(cluster.processor_node(3), now + 0.05,
                               /*downtime=*/0.8);
   std::printf("worker 3 will crash 50ms into the query and be down 0.8s\n");

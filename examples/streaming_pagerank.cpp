@@ -6,10 +6,15 @@
 // results are merged back into the main loop (Section 5.2), improving the
 // approximation for free.
 //
-// Build & run:  ./build/examples/streaming_pagerank
+// Build & run:  ./build/examples/streaming_pagerank [--backend=sim|thread]
+//
+// The default runs on the deterministic simulation; --backend=thread runs
+// the same job on real OS threads (docs/RUNTIME.md) and converges to the
+// same fixed point, though latencies become wall-clock measurements.
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <vector>
 
@@ -20,8 +25,20 @@
 
 using namespace tornado;
 
-int main() {
+int main(int argc, char** argv) {
   SetLogLevel(LogLevel::kWarning);
+
+  SubstrateBackend backend = SubstrateBackend::kSim;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--backend=thread") == 0) {
+      backend = SubstrateBackend::kThread;
+    } else if (std::strcmp(argv[i], "--backend=sim") == 0) {
+      backend = SubstrateBackend::kSim;
+    } else {
+      std::fprintf(stderr, "usage: %s [--backend=sim|thread]\n", argv[0]);
+      return 2;
+    }
+  }
 
   GraphStreamOptions stream_options;
   stream_options.num_vertices = 3000;
@@ -37,6 +54,7 @@ int main() {
   config.num_hosts = 4;
   config.ingest_rate = 8000.0;
   config.merge_branches = true;  // fold converged results back into main
+  config.backend = backend;
 
   TornadoCluster cluster(config,
                          std::make_unique<GraphStream>(stream_options));

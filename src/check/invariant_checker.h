@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -119,6 +120,10 @@ class CheckObserver final : public EngineObserver {
 
   void Violate(CheckViolation violation);
 
+  // Serializes the hooks: on the thread substrate every processor thread
+  // reports into the one cluster-wide checker. Uncontended (sim) this is
+  // a fast-path lock; the checker is a debug facility either way.
+  mutable std::mutex mu_;
   Options options_;
   std::map<LoopId, LoopCheck> loops_;
   std::vector<CheckViolation> violations_;

@@ -1,6 +1,7 @@
 #ifndef TORNADO_COMMON_METRICS_H_
 #define TORNADO_COMMON_METRICS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -14,8 +15,14 @@ namespace tornado {
 /// here; benchmarks read the counters to report the paper's "#Updates",
 /// "#Prepares" and "#Messages Per Second" columns, and the trace layer /
 /// benches feed distributions (query latency, commit staleness) whose
-/// p50/p95/max land in the machine-readable bench output. Not thread-safe:
-/// the simulated cluster is single-threaded by construction.
+/// p50/p95/max land in the machine-readable bench output.
+///
+/// Counter values are atomic so node threads on the thread substrate can
+/// bump them concurrently, but the map STRUCTURE is not protected: an
+/// insert (first Inc/CounterHandle of a new name) racing any other access
+/// is undefined. Multi-threaded users must intern every counter name
+/// up front (ThreadTransport pre-interns the metric:: set); histograms
+/// stay driver-/sim-only.
 class MetricRegistry {
  public:
   void Inc(const std::string& name, int64_t delta = 1) {
@@ -24,7 +31,7 @@ class MetricRegistry {
 
   int64_t Get(const std::string& name) const {
     auto it = counters_.find(name);
-    return it == counters_.end() ? 0 : it->second;
+    return it == counters_.end() ? 0 : it->second.load();
   }
 
   /// Pre-resolved counter handle: interns `name` once and returns a stable
@@ -32,7 +39,9 @@ class MetricRegistry {
   /// hashing and map lookups. Handles stay valid for the registry's
   /// lifetime (std::map nodes are stable, and Reset zeroes values in place
   /// instead of erasing them).
-  int64_t& CounterHandle(const std::string& name) { return counters_[name]; }
+  std::atomic<int64_t>& CounterHandle(const std::string& name) {
+    return counters_[name];
+  }
 
   /// Records one sample into the named distribution.
   void Observe(const std::string& name, double value) {
@@ -56,7 +65,9 @@ class MetricRegistry {
     for (auto& [name, hist] : histograms_) hist.Clear();
   }
 
-  const std::map<std::string, int64_t>& counters() const { return counters_; }
+  const std::map<std::string, std::atomic<int64_t>>& counters() const {
+    return counters_;
+  }
   const std::map<std::string, Histogram>& histograms() const {
     return histograms_;
   }
@@ -64,7 +75,7 @@ class MetricRegistry {
   std::string ToString() const;
 
  private:
-  std::map<std::string, int64_t> counters_;
+  std::map<std::string, std::atomic<int64_t>> counters_;
   std::map<std::string, Histogram> histograms_;
 };
 

@@ -5,6 +5,8 @@
 
 #include "common/logging.h"
 #include "common/serde.h"
+#include "runtime/sim_substrate.h"
+#include "runtime/thread_substrate.h"
 #include "trace/time_series.h"
 #include "trace/trace_observer.h"
 #include "trace/trace_recorder.h"
@@ -19,14 +21,22 @@ TornadoCluster::TornadoCluster(JobConfig config,
   TCHECK_GE(config_.num_hosts, 1u);
   TCHECK_GE(config_.delay_bound, 1u);
 
-  network_ = std::make_unique<Network>(&loop_, config_.cost,
-                                       config_.seed ^ 0xA5A5A5A5ULL);
-  failures_ = std::make_unique<FailureInjector>(network_.get());
+  if (config_.backend == SubstrateBackend::kThread) {
+    substrate_ = std::make_unique<ThreadSubstrate>(config_.seed);
+    // Node service threads and the driver touch the shared store
+    // concurrently; flip it into locked mode before any traffic.
+    store_.SetThreadSafe(true);
+  } else {
+    substrate_ = std::make_unique<SimSubstrate>(config_.cost, config_.seed);
+  }
+  Transport* transport = substrate_->transport();
+  failures_ =
+      std::make_unique<FailureInjector>(substrate_->scheduler(), transport);
 
   // Engine accounting flows through the observer list; the metrics bridge
   // is the first (always-on) subscriber.
   metrics_observer_ =
-      std::make_unique<MetricsEngineObserver>(&network_->metrics());
+      std::make_unique<MetricsEngineObserver>(&transport->metrics());
   engine_observers_.Add(metrics_observer_.get());
 
 #ifdef TORNADO_CHECK
@@ -50,36 +60,49 @@ TornadoCluster::TornadoCluster(JobConfig config,
     auto proc = std::make_unique<Processor>(p, &config_, &store_, partitioner,
                                             master_id, /*first_processor=*/0,
                                             &engine_observers_);
-    network_->RegisterNode(proc.get(), /*host=*/p % config_.num_hosts, speed);
+    transport->RegisterNode(proc.get(), /*host=*/p % config_.num_hosts, speed);
     processors_.push_back(std::move(proc));
   }
 
   master_ = std::make_unique<Master>(&config_, &store_, /*first_processor=*/0,
                                      /*ingester=*/master_id + 1);
-  network_->RegisterNode(master_.get(), /*host=*/config_.num_hosts);
+  transport->RegisterNode(master_.get(), /*host=*/config_.num_hosts);
 
   ingester_ = std::make_unique<Ingester>(&config_, std::move(source),
                                          partitioner, /*first_processor=*/0,
                                          master_id);
-  network_->RegisterNode(ingester_.get(), /*host=*/config_.num_hosts + 1);
+  transport->RegisterNode(ingester_.get(), /*host=*/config_.num_hosts + 1);
 
 #ifdef TORNADO_TRACE
-  // Traced builds wire the recorder into every cluster but keep it paused
-  // so the ordinary test suite does not accumulate events; callers (and
-  // the fig 8c/8d failure benches) resume it via EnableTracing().
-  EnableTracing();
-  trace_recorder_->Pause();
+  // Traced builds wire the recorder into every sim cluster but keep it
+  // paused so the ordinary test suite does not accumulate events; callers
+  // (and the fig 8c/8d failure benches) resume it via EnableTracing().
+  if (config_.backend == SubstrateBackend::kSim) {
+    EnableTracing();
+    trace_recorder_->Pause();
+  }
 #endif
 }
 
-TornadoCluster::~TornadoCluster() = default;
+TornadoCluster::~TornadoCluster() {
+  // Joins worker threads (thread backend) before the node members below
+  // this line in the class are destroyed; no-op on the sim backend.
+  substrate_->Shutdown();
+}
 
 TraceRecorder* TornadoCluster::EnableTracing() {
   if (trace_recorder_ != nullptr) {
     trace_recorder_->Resume();
     return trace_recorder_.get();
   }
-  trace_recorder_ = std::make_unique<TraceRecorder>(&loop_);
+  if (config_.backend != SubstrateBackend::kSim) {
+    // Probes read live session tables and the recorder is not locked;
+    // tracing stays a sim-backend (deterministic) facility.
+    TLOG_WARN << "tracing is unsupported on the " << substrate_->name()
+              << " substrate; EnableTracing ignored";
+    return nullptr;
+  }
+  trace_recorder_ = std::make_unique<TraceRecorder>(substrate_->clock());
 
   // Track layout mirrors the node ids; one extra pseudo-track carries the
   // cluster-wide sampler counters and events without an owning node.
@@ -93,13 +116,13 @@ TraceRecorder* TornadoCluster::EnableTracing() {
 
   trace_observer_ = std::make_unique<TraceObserver>(
       trace_recorder_.get(), HashPartitioner(config_.num_processors),
-      /*fallback_track=*/cluster_track, &network_->metrics());
+      /*fallback_track=*/cluster_track, &substrate_->transport()->metrics());
   engine_observers_.Add(trace_observer_.get());
-  network_->set_observer(trace_observer_.get());
+  substrate_->transport()->set_observer(trace_observer_.get());
   master_->set_trace(trace_recorder_.get());
 
-  trace_sampler_ =
-      std::make_unique<TimeSeriesSampler>(&loop_, /*period=*/0.05);
+  trace_sampler_ = std::make_unique<TimeSeriesSampler>(
+      substrate_->scheduler(), /*period=*/0.05);
   trace_sampler_->AddProbe("commit_watermark", [this]() {
     const Iteration t = master_->LastTerminated(kMainLoop);
     return t == kNoIteration ? 0.0 : static_cast<double>(t);
@@ -139,7 +162,7 @@ TraceRecorder* TornadoCluster::EnableTracing() {
     return depth;
   });
   trace_sampler_->AddProbe("in_flight_messages", [this]() {
-    return static_cast<double>(network_->InFlightCount());
+    return static_cast<double>(substrate_->transport()->InFlightCount());
   });
   trace_sampler_->set_recorder(trace_recorder_.get(), cluster_track);
   trace_sampler_->Start();
@@ -156,21 +179,14 @@ void TornadoCluster::DeepCheckInvariants() {
 void TornadoCluster::Start() {
   for (auto& proc : processors_) proc->Start();
   ingester_->Start();
+  // Thread backend: releases the node service threads only now, so the
+  // Start() calls above ran race-free. No-op on the sim backend.
+  substrate_->Start();
 }
 
 bool TornadoCluster::RunUntil(const std::function<bool()>& pred,
                               double timeout, double check_every) {
-  const double deadline = loop_.now() + timeout;
-  while (loop_.now() < deadline) {
-    if (pred()) return true;
-    const double slice = std::min(loop_.now() + check_every, deadline);
-    loop_.RunUntil(slice);
-    if (loop_.empty() && !pred()) {
-      // Nothing scheduled and the predicate is false: it can never flip.
-      return pred();
-    }
-  }
-  return pred();
+  return substrate_->RunUntil(pred, timeout, check_every);
 }
 
 bool TornadoCluster::RunUntilEmitted(uint64_t count, double timeout) {
@@ -179,35 +195,28 @@ bool TornadoCluster::RunUntilEmitted(uint64_t count, double timeout) {
 
 bool TornadoCluster::RunUntilQueryDone(uint64_t query_id, double timeout) {
   return RunUntil(
-      [&]() {
-        for (const CompletedQuery& q : ingester_->completed_queries()) {
-          if (q.query_id == query_id) return true;
-        }
-        return false;
-      },
+      [&]() { return ingester_->FindCompleted(query_id).has_value(); },
       timeout);
 }
 
-void TornadoCluster::RunFor(double seconds) {
-  loop_.RunUntil(loop_.now() + seconds);
-}
+void TornadoCluster::RunFor(double seconds) { substrate_->RunFor(seconds); }
 
 LoopId TornadoCluster::BranchOf(uint64_t query_id) const {
-  for (const CompletedQuery& q : ingester_->completed_queries()) {
-    if (q.query_id == query_id) return q.branch;
-  }
-  return 0;
+  const std::optional<CompletedQuery> q = ingester_->FindCompleted(query_id);
+  return q.has_value() ? q->branch : 0;
 }
 
 double TornadoCluster::QueryLatency(uint64_t query_id) const {
-  for (const CompletedQuery& q : ingester_->completed_queries()) {
-    if (q.query_id == query_id) return q.Latency();
-  }
-  return -1.0;
+  const std::optional<CompletedQuery> q = ingester_->FindCompleted(query_id);
+  return q.has_value() ? q->Latency() : -1.0;
 }
 
 std::unique_ptr<VertexState> TornadoCluster::ReadVertexStateAt(
     LoopId loop, VertexId vertex, Iteration iteration) const {
+  // The guard spans the view's lifetime: a VersionView is only valid
+  // until the store's next mutation, which on the thread backend can
+  // come from any node thread.
+  const VersionedStore::Guard guard = store_.Lock();
   const VersionView blob = store_.Get(loop, vertex, iteration);
   if (!blob) return nullptr;
   BufferReader reader(blob.data(), blob.size());

@@ -12,8 +12,7 @@
 #include "core/processor.h"
 #include "engine/metrics_observer.h"
 #include "engine/observer.h"
-#include "net/network.h"
-#include "sim/event_loop.h"
+#include "runtime/substrate.h"
 #include "sim/failure_injector.h"
 #include "storage/versioned_store.h"
 #include "stream/stream_source.h"
@@ -24,10 +23,12 @@ class TraceRecorder;
 class TraceObserver;
 class TimeSeriesSampler;
 
-/// The public entry point of the library: assembles a complete simulated
-/// Tornado deployment (ingester + processors + master + shared versioned
-/// store on a host/NIC topology) for one job, and provides driving and
-/// result-reading helpers for applications and benchmarks.
+/// The public entry point of the library: assembles a complete Tornado
+/// deployment (ingester + processors + master + shared versioned store)
+/// for one job on the configured runtime substrate — the deterministic
+/// simulation by default, or real threads (JobConfig::backend, see
+/// docs/RUNTIME.md) — and provides driving and result-reading helpers
+/// for applications and benchmarks.
 ///
 /// Typical use:
 ///
@@ -84,8 +85,11 @@ class TornadoCluster {
                                                  Iteration iteration) const;
 
   // --- Component access. ---
-  EventLoop& loop() { return loop_; }
-  Network& network() { return *network_; }
+  Substrate& substrate() { return *substrate_; }
+  Transport& transport() { return *substrate_->transport(); }
+  Scheduler* scheduler() { return substrate_->scheduler(); }
+  MetricRegistry& metrics() { return substrate_->transport()->metrics(); }
+  double now() const { return substrate_->clock()->now(); }
   VersionedStore& store() { return store_; }
   Master& master() { return *master_; }
   Ingester& ingester() { return *ingester_; }
@@ -131,8 +135,9 @@ class TornadoCluster {
 
  private:
   JobConfig config_;
-  EventLoop loop_;
-  std::unique_ptr<Network> network_;
+  // Destroyed last (declared first): Shutdown() in the destructor joins
+  // any worker threads before the nodes below are torn down.
+  std::unique_ptr<Substrate> substrate_;
   VersionedStore store_;
   EngineObserverList engine_observers_;
   std::unique_ptr<MetricsEngineObserver> metrics_observer_;

@@ -59,6 +59,16 @@ enum class ConsistencyMode {
   kFullyAsync,
 };
 
+/// Which runtime substrate the cluster runs on (docs/RUNTIME.md).
+enum class SubstrateBackend {
+  /// Discrete-event simulation: virtual clock, deterministic, the
+  /// correctness oracle. Failure injection supported.
+  kSim,
+  /// Real threads: one service thread per node, steady-clock time,
+  /// honest wall-clock numbers. No failure injection or tracing.
+  kThread,
+};
+
 /// Static description of a Tornado job.
 struct JobConfig {
   /// The graph-parallel program (shared by main and branch loops).
@@ -107,6 +117,11 @@ struct JobConfig {
 
   /// Seed for all engine-internal randomness.
   uint64_t seed = 1;
+
+  /// Runtime substrate the cluster is assembled on. The sim backend is
+  /// the default and the only deterministic one; `cost` is ignored by
+  /// the thread backend (real CPUs are not modeled).
+  SubstrateBackend backend = SubstrateBackend::kSim;
 };
 
 }  // namespace tornado

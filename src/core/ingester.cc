@@ -93,7 +93,10 @@ void Ingester::OnMessage(NodeId src, const Payload& msg) {
     done.converged_iteration = m->converged_iteration;
     done.submit_time = m->submit_time;
     done.done_time = now();
-    completed_.push_back(done);
+    {
+      std::lock_guard<std::mutex> lock(completed_mu_);
+      completed_.push_back(done);
+    }
     if (result_hook_) result_hook_(done);
   } else if (const auto* m = dynamic_cast<const RestartLoopMsg*>(&msg)) {
     if (m->loop == kMainLoop) main_epoch_ = m->new_epoch;

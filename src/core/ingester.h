@@ -1,14 +1,17 @@
 #ifndef TORNADO_CORE_INGESTER_H_
 #define TORNADO_CORE_INGESTER_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <vector>
 
 #include "core/config.h"
 #include "core/messages.h"
 #include "graph/dynamic_graph.h"
-#include "net/network.h"
+#include "runtime/substrate.h"
 #include "stream/stream_source.h"
 
 namespace tornado {
@@ -40,6 +43,8 @@ class Ingester : public Node {
 
   /// Pauses / resumes emission (drivers use this to freeze the input while
   /// measuring a branch loop, as the batch-baseline comparison requires).
+  /// On the thread substrate, leave a moment (e.g. Substrate::RunFor)
+  /// between Pause and Resume so an in-flight tick can drain.
   void Pause() { paused_ = true; }
   void Resume();
   bool paused() const { return paused_; }
@@ -51,8 +56,21 @@ class Ingester : public Node {
 
   uint64_t emitted() const { return emitted_; }
   bool exhausted() const { return exhausted_; }
-  const std::vector<CompletedQuery>& completed_queries() const {
+
+  /// Snapshot of the completed-query list (by value: on the thread
+  /// substrate the ingester thread appends concurrently).
+  std::vector<CompletedQuery> completed_queries() const {
+    std::lock_guard<std::mutex> lock(completed_mu_);
     return completed_;
+  }
+
+  /// The completed record for `query_id`, if the query has converged.
+  std::optional<CompletedQuery> FindCompleted(uint64_t query_id) const {
+    std::lock_guard<std::mutex> lock(completed_mu_);
+    for (const CompletedQuery& q : completed_) {
+      if (q.query_id == query_id) return q;
+    }
+    return std::nullopt;
   }
 
   /// Invoked after each emission batch with the cumulative tuple count.
@@ -74,14 +92,19 @@ class Ingester : public Node {
   NodeId first_processor_node_;
   NodeId master_node_;
   LoopEpoch main_epoch_ = 0;
-  uint64_t emitted_ = 0;
-  uint64_t next_query_id_ = 1;
-  bool started_ = false;
-  bool paused_ = false;
-  bool ticking_ = false;
-  bool exhausted_ = false;
+  // Atomics: the driver thread reads progress (and flips pause state)
+  // while the ingester's service thread emits, on the thread substrate.
+  // On the sim substrate everything runs on one thread and the code path
+  // is unchanged.
+  std::atomic<uint64_t> emitted_{0};
+  std::atomic<uint64_t> next_query_id_{1};
+  std::atomic<bool> started_{false};
+  std::atomic<bool> paused_{false};
+  std::atomic<bool> ticking_{false};
+  std::atomic<bool> exhausted_{false};
   std::function<void(uint64_t)> emit_hook_;
   std::function<void(const CompletedQuery&)> result_hook_;
+  mutable std::mutex completed_mu_;
   std::vector<CompletedQuery> completed_;
 };
 

@@ -284,7 +284,7 @@ void Master::TryTerminate(LoopControl& lc) {
 void Master::Terminate(LoopControl& lc, Iteration upto) {
   lc.last_terminated = upto;
   lc.has_fingerprint = false;
-  network()->metrics().Inc(metric::kIterationsTerminated);
+  transport()->metrics().Inc(metric::kIterationsTerminated);
   if (trace_ != nullptr) {
     trace_->Instant(trace_cat::kMaster, "terminate", id(),
                     {{"loop", lc.loop}, {"upto", upto}});
@@ -551,6 +551,9 @@ void Master::PersistJournal() {
 }
 
 bool Master::LoadJournal() {
+  // Guard spans the deserialization: the view dies at the store's next
+  // mutation (thread substrate: any node thread).
+  const VersionedStore::Guard guard = store_->Lock();
   const VersionView blob = store_->GetLatest(kJournalLoop, 0);
   if (!blob) return false;
   BufferReader r(blob.data(), blob.size());

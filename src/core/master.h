@@ -10,7 +10,7 @@
 #include "core/config.h"
 #include "core/messages.h"
 #include "engine/consistency_policy.h"
-#include "net/network.h"
+#include "runtime/substrate.h"
 #include "storage/versioned_store.h"
 
 namespace tornado {

@@ -10,7 +10,7 @@
 #include "engine/protocol.h"
 #include "engine/session_table.h"
 #include "graph/dynamic_graph.h"
-#include "net/network.h"
+#include "runtime/substrate.h"
 #include "storage/versioned_store.h"
 
 namespace tornado {

@@ -1,6 +1,7 @@
 #ifndef TORNADO_ENGINE_METRICS_OBSERVER_H_
 #define TORNADO_ENGINE_METRICS_OBSERVER_H_
 
+#include <atomic>
 #include <cstdint>
 
 #include "common/metrics.h"
@@ -41,12 +42,12 @@ class MetricsEngineObserver final : public EngineObserver {
   }
 
  private:
-  int64_t& inputs_gathered_;
-  int64_t& prepares_sent_;
-  int64_t& acks_sent_;
-  int64_t& updates_committed_;
-  int64_t& updates_blocked_;
-  int64_t& versions_flushed_;
+  std::atomic<int64_t>& inputs_gathered_;
+  std::atomic<int64_t>& prepares_sent_;
+  std::atomic<int64_t>& acks_sent_;
+  std::atomic<int64_t>& updates_committed_;
+  std::atomic<int64_t>& updates_blocked_;
+  std::atomic<int64_t>& versions_flushed_;
 };
 
 }  // namespace tornado

@@ -36,6 +36,9 @@ Rng SessionTable::MakeVertexRng(LoopId loop, VertexId id) const {
 
 bool SessionTable::LoadFromStore(const LoopState& ls, VertexId id,
                                  Iteration at, VertexSession* out) const {
+  // Guard spans the whole read: the VersionView stays valid only until
+  // the store's next mutation (thread substrate: any node thread).
+  const VersionedStore::Guard guard = store_->Lock();
   const VersionView blob = store_->Get(ls.loop, id, at);
   if (!blob) return false;
   BufferReader reader(blob.data(), blob.size());

@@ -7,26 +7,13 @@
 
 namespace tornado {
 
-void Node::Send(NodeId dst, PayloadPtr payload, bool reliable) {
-  network_->Send(id_, dst, std::move(payload), reliable);
-}
-
-void Node::ScheduleSelf(double delay, std::function<void()> fn) {
-  network_->ScheduleOnNode(id_, delay, std::move(fn));
-}
-
-void Node::AddCost(double seconds) { network_->AddHandlerCost(seconds); }
-
-double Node::now() const { return network_->now(); }
-
 Network::Network(EventLoop* loop, CostModel cost, uint64_t seed)
     : loop_(loop), cost_(cost), rng_(seed) {}
 
 void Network::RegisterNode(Node* node, HostId host, double speed_factor) {
   TCHECK(node != nullptr);
   const NodeId id = static_cast<NodeId>(nodes_.size());
-  node->id_ = id;
-  node->network_ = this;
+  Bind(node, id, this);
   NodeState state;
   state.node = node;
   state.host = host;

@@ -12,128 +12,76 @@
 #include "common/metrics.h"
 #include "common/rng.h"
 #include "net/payload.h"
+#include "runtime/substrate.h"
 #include "sim/cost_model.h"
 #include "sim/event_loop.h"
 
 namespace tornado {
 
-class Network;
-
-/// An actor attached to the network: a processor, the master, or an
-/// ingester. Messages are delivered one at a time through a single-server
-/// service queue per node (modeling a Storm worker thread); the handler can
-/// charge extra virtual CPU time via AddCost().
-class Node {
- public:
-  virtual ~Node() = default;
-
-  /// Handles one delivered message. Runs on the simulated worker thread.
-  virtual void OnMessage(NodeId src, const Payload& msg) = 0;
-
-  /// Called after the node recovers from a failure, before any new message
-  /// is delivered. In-memory state is gone; reload from durable storage.
-  virtual void OnRestart() {}
-
-  NodeId id() const { return id_; }
-  Network* network() const { return network_; }
-
- protected:
-  /// Sends a message to another node (reliable by default: acknowledged,
-  /// retransmitted, deduplicated).
-  void Send(NodeId dst, PayloadPtr payload, bool reliable = true);
-
-  /// Schedules a callback on this node's service queue after `delay`
-  /// virtual seconds. The callback is dropped if the node fails meanwhile.
-  void ScheduleSelf(double delay, std::function<void()> fn);
-
-  /// Charges extra virtual CPU time to the message currently being handled.
-  void AddCost(double seconds);
-
-  double now() const;
-
- private:
-  friend class Network;
-  NodeId id_ = 0;
-  Network* network_ = nullptr;
-};
-
-/// Hook interface over transport events, mirroring EngineObserver one
-/// layer down: the trace subsystem subscribes to record message flow and
-/// failure-injector activity without the network knowing about tracing.
-/// Callbacks run synchronously inside the network; implementations must
-/// not call back into it.
-class NetworkObserver {
- public:
-  virtual ~NetworkObserver() = default;
-
-  /// `src` handed `payload` to the transport, addressed to `dst` (fires
-  /// once per logical send, not per retransmission).
-  virtual void OnSend(NodeId /*src*/, NodeId /*dst*/,
-                      const Payload& /*payload*/) {}
-
-  /// `payload` reached `dst`'s service queue (post dedup/reordering).
-  virtual void OnDeliver(NodeId /*src*/, NodeId /*dst*/,
-                         const Payload& /*payload*/) {}
-
-  /// Failure injection: `node` was killed / recovered.
-  virtual void OnNodeKilled(NodeId /*node*/) {}
-  virtual void OnNodeRecovered(NodeId /*node*/) {}
-};
+/// Transitional alias: the observer interface moved to the substrate seam
+/// (runtime/substrate.h) when the transport became pluggable.
+using NetworkObserver = TransportObserver;
 
 /// The simulated cluster fabric: node registry, host NICs, reliable
 /// channels (per-channel sequence numbers, transport acks, retransmission
 /// with exponential backoff, receiver-side dedup) and failure injection.
+/// This is the Transport implementation behind runtime::SimSubstrate.
 ///
 /// This is the substitute for Storm's transportation layer (Section 5.1):
 /// "it packages the messages from higher layers ... and ensures that
 /// messages are delivered without any error", plus Section 5.3's
 /// "when a sent message is not acknowledged in certain time, it will be
 /// resent to ensure at-least-once message passing".
-class Network {
+class Network final : public Transport {
  public:
   Network(EventLoop* loop, CostModel cost, uint64_t seed = 1);
 
   /// Registers a node on a host. Node ids are assigned densely by the
   /// caller and must be unique. The node must outlive the network.
-  void RegisterNode(Node* node, HostId host, double speed_factor = 1.0);
+  void RegisterNode(Node* node, HostId host, double speed_factor = 1.0) override;
 
   /// Sends `payload` from `src` to `dst`. No-op if the sender is dead.
-  void Send(NodeId src, NodeId dst, PayloadPtr payload, bool reliable);
+  void Send(NodeId src, NodeId dst, PayloadPtr payload, bool reliable) override;
 
   /// Schedules `fn` on `node`'s service queue after `delay` seconds.
-  void ScheduleOnNode(NodeId node, double delay, std::function<void()> fn);
+  void ScheduleOnNode(NodeId node, double delay,
+                      std::function<void()> fn) override;
 
   /// Charges extra cost to the handler currently running (if any).
-  void AddHandlerCost(double seconds) { handler_extra_cost_ += seconds; }
+  void AddHandlerCost(double seconds) override {
+    handler_extra_cost_ += seconds;
+  }
 
   /// Failure injection. Killing a node drops its inbox, its in-memory
   /// state and all unacknowledged outgoing messages; peers keep
   /// retransmitting into the void until recovery or retry exhaustion.
-  void KillNode(NodeId id);
-  void RecoverNode(NodeId id);
-  bool IsAlive(NodeId id) const;
+  void KillNode(NodeId id) override;
+  void RecoverNode(NodeId id) override;
+  bool IsAlive(NodeId id) const override;
 
-  double now() const { return loop_->now(); }
+  double now() const override { return loop_->now(); }
   EventLoop* loop() { return loop_; }
   const CostModel& cost() const { return cost_; }
-  MetricRegistry& metrics() { return metrics_; }
-  size_t node_count() const { return nodes_.size(); }
+  MetricRegistry& metrics() override { return metrics_; }
+  size_t node_count() const override { return nodes_.size(); }
 
   /// Subscribes `observer` to transport events (nullptr detaches). The
   /// observer must outlive the network; at most one is supported — the
   /// trace layer fans out internally if it ever needs to.
-  void set_observer(NetworkObserver* observer) { observer_ = observer; }
+  void set_observer(TransportObserver* observer) override {
+    observer_ = observer;
+  }
 
   /// Messages accepted by Send but not yet handed to a service queue
   /// (in-flight or lost-awaiting-retransmission); the time-series sampler
   /// graphs this as transport backlog.
-  int64_t InFlightCount() const {
+  int64_t InFlightCount() const override {
     return metrics_.Get(metric::kMessagesSent) -
            metrics_.Get(metric::kMessagesDelivered);
   }
 
   /// Service-queue depth of `id` (undelivered inbox entries).
-  size_t InboxDepth(NodeId id) const {
+  size_t InboxDepth(NodeId id) const override {
     return id < nodes_.size() ? nodes_[id].inbox.size() : 0;
   }
 

@@ -1,0 +1,25 @@
+#include "runtime/sim_substrate.h"
+
+#include <algorithm>
+
+namespace tornado {
+
+bool SimSubstrate::RunUntil(const std::function<bool()>& pred, double timeout,
+                            double check_every) {
+  // Byte-compat contract: this slice loop is the exact drive loop the
+  // cluster ran before the substrate seam existed. Changing the slicing
+  // changes event interleavings and breaks same-seed trace identity.
+  const double deadline = loop_.now() + timeout;
+  while (loop_.now() < deadline) {
+    if (pred()) return true;
+    const double slice = std::min(loop_.now() + check_every, deadline);
+    loop_.RunUntil(slice);
+    if (loop_.empty() && !pred()) {
+      // Nothing scheduled and the predicate is false: it can never flip.
+      return pred();
+    }
+  }
+  return pred();
+}
+
+}  // namespace tornado

@@ -1,0 +1,77 @@
+#ifndef TORNADO_RUNTIME_SIM_SUBSTRATE_H_
+#define TORNADO_RUNTIME_SIM_SUBSTRATE_H_
+
+#include <functional>
+#include <utility>
+
+#include "net/network.h"
+#include "runtime/substrate.h"
+#include "sim/cost_model.h"
+#include "sim/event_loop.h"
+
+namespace tornado {
+
+/// Scheduler adapter over the discrete-event loop. EventIds are already
+/// generation-tagged slab handles (PR 4), so they pass through as
+/// TimerIds unchanged. Usable standalone (tests drive trace components
+/// against a bare EventLoop through it).
+class SimScheduler final : public Scheduler {
+ public:
+  explicit SimScheduler(EventLoop* loop) : loop_(loop) {}
+
+  double now() const override { return loop_->now(); }
+  bool is_virtual() const override { return true; }
+
+  TimerId ScheduleAfter(double delay, std::function<void()> fn) override {
+    return loop_->Schedule(delay, [fn = std::move(fn)]() { fn(); });
+  }
+
+  TimerId ScheduleAt(double when, std::function<void()> fn) override {
+    return loop_->ScheduleAt(when, [fn = std::move(fn)]() { fn(); });
+  }
+
+  void Cancel(TimerId id) override { loop_->Cancel(id); }
+
+ private:
+  EventLoop* loop_;
+};
+
+/// The deterministic backend: the discrete-event simulation that serves
+/// as the correctness oracle. Owns the EventLoop and the simulated
+/// Network; the transport RNG seed derivation and the drive loop are
+/// bit-compatible with the pre-substrate TornadoCluster, so same-seed
+/// traces stay byte-identical across the refactor.
+class SimSubstrate final : public Substrate {
+ public:
+  SimSubstrate(const CostModel& cost, uint64_t base_seed)
+      : Substrate(base_seed),
+        scheduler_(&loop_),
+        network_(&loop_, cost, rng_.StreamSeed(SubstrateRng::kTransportStream)) {}
+
+  const char* name() const override { return "sim"; }
+  bool is_deterministic() const override { return true; }
+
+  Clock* clock() override { return &scheduler_; }
+  Scheduler* scheduler() override { return &scheduler_; }
+  Transport* transport() override { return &network_; }
+
+  /// Sim-only extras for failure benches and loop introspection.
+  EventLoop* loop() { return &loop_; }
+  Network* network() { return &network_; }
+
+  bool RunUntil(const std::function<bool()>& pred, double timeout,
+                double check_every) override;
+
+  void RunFor(double seconds) override {
+    loop_.RunUntil(loop_.now() + seconds);
+  }
+
+ private:
+  EventLoop loop_;
+  SimScheduler scheduler_;
+  Network network_;
+};
+
+}  // namespace tornado
+
+#endif  // TORNADO_RUNTIME_SIM_SUBSTRATE_H_

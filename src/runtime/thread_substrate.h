@@ -1,0 +1,203 @@
+#ifndef TORNADO_RUNTIME_THREAD_SUBSTRATE_H_
+#define TORNADO_RUNTIME_THREAD_SUBSTRATE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/substrate.h"
+
+namespace tornado {
+
+/// Wall time as seconds since construction, read off the monotonic
+/// steady clock. Shared epoch for the thread substrate's scheduler,
+/// transport and drive loop.
+class WallClock final : public Clock {
+ public:
+  WallClock() : start_(std::chrono::steady_clock::now()) {}
+
+  double now() const override {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+  bool is_virtual() const override { return false; }
+
+ private:
+  const std::chrono::steady_clock::time_point start_;
+};
+
+/// Timer facility backed by one dedicated timer thread. Handles are
+/// generation-tagged slab slots (mirroring sim::EventLoop's EventId
+/// scheme): slot index in the low 32 bits (offset by one so 0 stays the
+/// "no timer" sentinel), generation in the high 32, so a stale handle
+/// never cancels a reused slot. Callbacks run on the timer thread; they
+/// must be thread-safe or re-post onto a node's service queue.
+class ThreadScheduler final : public Scheduler {
+ public:
+  explicit ThreadScheduler(const Clock* clock);
+  ~ThreadScheduler() override;
+
+  double now() const override { return clock_->now(); }
+  bool is_virtual() const override { return false; }
+
+  TimerId ScheduleAfter(double delay, std::function<void()> fn) override;
+  TimerId ScheduleAt(double when, std::function<void()> fn) override;
+  void Cancel(TimerId id) override;
+
+  /// Stops the timer thread; pending timers never fire. Idempotent.
+  void Stop();
+
+ private:
+  struct Slot {
+    uint32_t gen = 1;
+    bool armed = false;
+  };
+  struct Pending {
+    TimerId id = 0;
+    std::function<void()> fn;
+  };
+
+  TimerId ArmLocked(double when, std::function<void()> fn);
+  bool DisarmLocked(TimerId id);
+  void Run();
+
+  const Clock* clock_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> free_slots_;
+  std::multimap<double, Pending> queue_;  // keyed by absolute deadline
+  std::thread thread_;
+};
+
+/// In-process transport: one service thread per node draining an MPSC
+/// mailbox (mutex + condvar + deque), which preserves the actor model's
+/// one-message-at-a-time handler contract, so node code needs no internal
+/// locking. Channels are lossless and ordered (reliable == unreliable);
+/// there is no latency/CPU model (AddHandlerCost is a no-op) and no
+/// failure injection (KillNode TCHECK-fails).
+///
+/// Nodes register before Open(); their threads start immediately but
+/// block on a start gate until Open() releases them, so the driver can
+/// finish wiring (Start() calls, observers) race-free — every mailbox
+/// mutex acquisition after the gate gives the workers a happens-before
+/// edge over all pre-Open driver writes.
+class ThreadTransport final : public Transport {
+ public:
+  ThreadTransport(const Clock* clock, const SubstrateRng* rng);
+  ~ThreadTransport() override;
+
+  void RegisterNode(Node* node, HostId host, double speed_factor) override;
+  void Send(NodeId src, NodeId dst, PayloadPtr payload, bool reliable) override;
+  void ScheduleOnNode(NodeId node, double delay,
+                      std::function<void()> fn) override;
+  void AddHandlerCost(double /*seconds*/) override {}  // CPU time is real
+  void KillNode(NodeId id) override;
+  void RecoverNode(NodeId id) override;
+  bool IsAlive(NodeId id) const override;
+  double now() const override { return clock_->now(); }
+  MetricRegistry& metrics() override { return metrics_; }
+  size_t node_count() const override { return nodes_.size(); }
+  void set_observer(TransportObserver* observer) override {
+    observer_.store(observer);
+  }
+  int64_t InFlightCount() const override;
+  size_t InboxDepth(NodeId id) const override;
+
+  /// Releases the node service threads. Call after all nodes are
+  /// registered and started.
+  void Open();
+
+  /// Stops and joins every node thread. Call before destroying any
+  /// registered Node. Idempotent.
+  void Stop();
+
+  /// Per-node RNG, seeded from the substrate's thread stream; only ever
+  /// touched by that node's service thread.
+  Rng* node_rng(NodeId id) { return &nodes_[id]->rng; }
+
+ private:
+  struct Entry {
+    NodeId src = 0;
+    PayloadPtr payload;              // null for timer entries
+    std::function<void()> timer_fn;  // set for timer entries
+  };
+  struct NodeRec {
+    explicit NodeRec(uint64_t rng_seed) : rng(rng_seed) {}
+    Node* node = nullptr;
+    HostId host = 0;
+    Rng rng;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Entry> queue;
+    std::multimap<double, Entry> timers;  // keyed by absolute deadline
+    bool stop = false;
+    std::thread thread;
+  };
+
+  void Worker(NodeRec* nr);
+
+  const Clock* clock_;
+  MetricRegistry metrics_;
+  std::atomic<int64_t>* sent_counter_;
+  std::atomic<int64_t>* delivered_counter_;
+  std::atomic<TransportObserver*> observer_{nullptr};
+  std::atomic<bool> open_{false};
+  bool stopped_ = false;
+  const SubstrateRng* rng_;
+  std::vector<std::unique_ptr<NodeRec>> nodes_;
+};
+
+/// The real-thread backend: honest wall-clock execution of the same
+/// protocol the simulation models. Not deterministic — ordering across
+/// nodes is whatever the machine does — but the protocol's fixed point
+/// is, which the cross-backend equivalence test exploits.
+class ThreadSubstrate final : public Substrate {
+ public:
+  explicit ThreadSubstrate(uint64_t base_seed)
+      : Substrate(base_seed),
+        scheduler_(&wall_clock_),
+        transport_(&wall_clock_, &rng_) {}
+
+  ~ThreadSubstrate() override { Shutdown(); }
+
+  const char* name() const override { return "thread"; }
+  bool is_deterministic() const override { return false; }
+
+  Clock* clock() override { return &wall_clock_; }
+  Scheduler* scheduler() override { return &scheduler_; }
+  Transport* transport() override { return &transport_; }
+  ThreadTransport* thread_transport() { return &transport_; }
+
+  bool RunUntil(const std::function<bool()>& pred, double timeout,
+                double check_every) override;
+  void RunFor(double seconds) override;
+
+  /// Opens the transport gate: node service threads begin consuming.
+  void Start() override { transport_.Open(); }
+
+  /// Joins the timer thread and every node thread. Must run before any
+  /// registered Node is destroyed. Idempotent.
+  void Shutdown() override {
+    scheduler_.Stop();
+    transport_.Stop();
+  }
+
+ private:
+  WallClock wall_clock_;
+  ThreadScheduler scheduler_;
+  ThreadTransport transport_;
+};
+
+}  // namespace tornado
+
+#endif  // TORNADO_RUNTIME_THREAD_SUBSTRATE_H_

@@ -1,19 +1,14 @@
 #include "sim/failure_injector.h"
 
-#include "net/network.h"
-
 namespace tornado {
 
 void FailureInjector::KillAt(NodeId node, double at) {
-  network_->loop()->ScheduleAt(at, [net = network_, node]() {
-    net->KillNode(node);
-  });
+  scheduler_->ScheduleAt(at, [t = transport_, node]() { t->KillNode(node); });
 }
 
 void FailureInjector::RecoverAt(NodeId node, double at) {
-  network_->loop()->ScheduleAt(at, [net = network_, node]() {
-    net->RecoverNode(node);
-  });
+  scheduler_->ScheduleAt(at,
+                         [t = transport_, node]() { t->RecoverNode(node); });
 }
 
 }  // namespace tornado

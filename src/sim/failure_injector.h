@@ -1,20 +1,20 @@
 #ifndef TORNADO_SIM_FAILURE_INJECTOR_H_
 #define TORNADO_SIM_FAILURE_INJECTOR_H_
 
-#include <vector>
-
 #include "net/payload.h"
+#include "runtime/substrate.h"
 
 namespace tornado {
-
-class Network;
 
 /// Schedules node kill/recover actions at virtual times. Used by the
 /// fault-tolerance experiments (Figures 8c and 8d: master failure and
 /// single-processor failure) and by the failure-injection tests.
+/// Substrate-agnostic, but only the sim transport implements node
+/// failure; the thread transport TCHECK-fails on KillNode.
 class FailureInjector {
  public:
-  explicit FailureInjector(Network* network) : network_(network) {}
+  FailureInjector(Scheduler* scheduler, Transport* transport)
+      : scheduler_(scheduler), transport_(transport) {}
 
   /// Kills `node` at virtual time `at`.
   void KillAt(NodeId node, double at);
@@ -29,7 +29,8 @@ class FailureInjector {
   }
 
  private:
-  Network* network_;
+  Scheduler* scheduler_;
+  Transport* transport_;
 };
 
 }  // namespace tornado

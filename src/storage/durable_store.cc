@@ -57,6 +57,10 @@ Result<size_t> DurableStore::Flush(LoopId loop, Iteration iteration) {
   if (!log_.is_open()) {
     return Status::FailedPrecondition("durable store is not open");
   }
+  // The guard spans the collect-then-append below: the VersionViews are
+  // only valid while no other thread mutates the store (no-op guard in
+  // the default single-threaded mode).
+  const VersionedStore::Guard guard = store_.Lock();
   // Append every version that the new watermark covers and the old one did
   // not, in deterministic (vertex, iteration) order.
   const Iteration old_watermark = store_.DurableIteration(loop);
@@ -89,6 +93,35 @@ Result<size_t> DurableStore::Flush(LoopId loop, Iteration iteration) {
   }
   store_.Flush(loop, iteration);
   return persisted;
+}
+
+void DurableStore::ScheduleAutoFlush(Scheduler* scheduler, double period) {
+  StopAutoFlush();
+  flush_scheduler_ = scheduler;
+  flush_period_ = period;
+  flush_timer_ =
+      scheduler->ScheduleAfter(period, [this]() { AutoFlushTick(); });
+}
+
+void DurableStore::StopAutoFlush() {
+  if (flush_scheduler_ != nullptr && flush_timer_ != 0) {
+    flush_scheduler_->Cancel(flush_timer_);
+  }
+  flush_timer_ = 0;
+  flush_scheduler_ = nullptr;
+}
+
+void DurableStore::AutoFlushTick() {
+  ++auto_flushes_;
+  for (LoopId loop : CollectLoops()) {
+    if (store_.DirtyVersions(loop) == 0) continue;
+    // Flush to the newest version present; failures surface on the next
+    // explicit Flush/Close (the log keeps its error state).
+    (void)Flush(loop, kNoIteration - 1);
+  }
+  if (flush_scheduler_ == nullptr) return;  // stopped from inside a tick
+  flush_timer_ = flush_scheduler_->ScheduleAfter(flush_period_,
+                                                 [this]() { AutoFlushTick(); });
 }
 
 }  // namespace tornado

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/substrate.h"
 #include "storage/checkpoint_log.h"
 #include "storage/versioned_store.h"
 
@@ -37,17 +38,41 @@ class DurableStore {
   /// the in-memory state without re-reading the log).
   void RecoverToDurable(LoopId loop) { store_.RecoverToDurable(loop); }
 
+  /// Arms a periodic background flush of every loop, every `period`
+  /// substrate seconds: each tick flushes all dirty loops up to their
+  /// newest version, then re-arms. On the sim substrate the ticks run in
+  /// virtual time; on the thread substrate they run on the timer thread —
+  /// call store().SetThreadSafe(true) first if other threads Put
+  /// concurrently (the checkpoint log itself is only ever touched by
+  /// Open/Close and flush ticks, so it needs no extra locking).
+  /// Idempotent: re-arming replaces the previous schedule.
+  void ScheduleAutoFlush(Scheduler* scheduler, double period);
+
+  /// Cancels the periodic flush (no-op if none armed). Called by Close().
+  void StopAutoFlush();
+
+  /// Number of auto-flush ticks that have run (tests/observability).
+  uint64_t auto_flushes() const { return auto_flushes_; }
+
   VersionedStore& store() { return store_; }
   const VersionedStore& store() const { return store_; }
 
-  Status Close() { return log_.Close(); }
+  Status Close() {
+    StopAutoFlush();
+    return log_.Close();
+  }
 
  private:
   std::vector<LoopId> CollectLoops() const;
+  void AutoFlushTick();
 
   VersionedStore store_;
   CheckpointLog log_;
   std::string path_;
+  Scheduler* flush_scheduler_ = nullptr;
+  TimerId flush_timer_ = 0;
+  double flush_period_ = 0.0;
+  uint64_t auto_flushes_ = 0;
 };
 
 }  // namespace tornado

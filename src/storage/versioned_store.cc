@@ -23,6 +23,7 @@ void VersionedStore::Put(LoopId loop, VertexId vertex, Iteration iteration,
 void VersionedStore::PutBytes(LoopId loop, VertexId vertex,
                               Iteration iteration, const uint8_t* data,
                               size_t size) {
+  const Guard guard = Lock();
   LoopData& loop_data = loops_[loop];
   Chain& chain = loop_data.chains[vertex];
 
@@ -99,6 +100,7 @@ void VersionedStore::MaybeCompact(LoopData& data) {
 
 VersionView VersionedStore::Get(LoopId loop, VertexId vertex,
                                 Iteration at) const {
+  const Guard guard = Lock();
   auto loop_it = loops_.find(loop);
   if (loop_it == loops_.end()) return {};
   auto chain_it = loop_it->second.chains.find(vertex);
@@ -113,6 +115,7 @@ VersionView VersionedStore::Get(LoopId loop, VertexId vertex,
 
 Iteration VersionedStore::GetVersionIteration(LoopId loop, VertexId vertex,
                                               Iteration at) const {
+  const Guard guard = Lock();
   const Chain* chain = FindChain(loop, vertex);
   if (chain == nullptr || chain->entries.empty()) return kNoIteration;
   const auto& entries = chain->entries;
@@ -124,6 +127,7 @@ Iteration VersionedStore::GetVersionIteration(LoopId loop, VertexId vertex,
 }
 
 VersionView VersionedStore::GetLatest(LoopId loop, VertexId vertex) const {
+  const Guard guard = Lock();
   auto loop_it = loops_.find(loop);
   if (loop_it == loops_.end()) return {};
   auto chain_it = loop_it->second.chains.find(vertex);
@@ -134,6 +138,7 @@ VersionView VersionedStore::GetLatest(LoopId loop, VertexId vertex) const {
 }
 
 std::vector<VertexId> VersionedStore::VerticesOf(LoopId loop) const {
+  const Guard guard = Lock();
   std::vector<VertexId> out;
   auto it = loops_.find(loop);
   if (it == loops_.end()) return out;
@@ -149,6 +154,7 @@ std::vector<VertexId> VersionedStore::VerticesOf(LoopId loop) const {
 
 std::vector<VertexId> VersionedStore::VerticesWithVersionAt(
     LoopId loop, Iteration iteration) const {
+  const Guard guard = Lock();
   std::vector<VertexId> out;
   auto it = loops_.find(loop);
   if (it == loops_.end()) return out;
@@ -166,11 +172,13 @@ std::vector<VertexId> VersionedStore::VerticesWithVersionAt(
 }
 
 size_t VersionedStore::VersionCount(LoopId loop, VertexId vertex) const {
+  const Guard guard = Lock();
   const Chain* chain = FindChain(loop, vertex);
   return chain == nullptr ? 0 : chain->entries.size();
 }
 
 size_t VersionedStore::Flush(LoopId loop, Iteration iteration) {
+  const Guard guard = Lock();
   auto it = loops_.find(loop);
   if (it == loops_.end()) return 0;
   LoopData& data = it->second;
@@ -190,16 +198,19 @@ size_t VersionedStore::Flush(LoopId loop, Iteration iteration) {
 }
 
 size_t VersionedStore::DirtyVersions(LoopId loop) const {
+  const Guard guard = Lock();
   auto it = loops_.find(loop);
   return it == loops_.end() ? 0 : it->second.dirty;
 }
 
 Iteration VersionedStore::DurableIteration(LoopId loop) const {
+  const Guard guard = Lock();
   auto it = loops_.find(loop);
   return it == loops_.end() ? kNoIteration : it->second.durable;
 }
 
 void VersionedStore::TruncateAfter(LoopId loop, Iteration iteration) {
+  const Guard guard = Lock();
   auto it = loops_.find(loop);
   if (it == loops_.end()) return;
   LoopData& data = it->second;
@@ -224,6 +235,7 @@ void VersionedStore::TruncateAfter(LoopId loop, Iteration iteration) {
 }
 
 size_t VersionedStore::PruneBelow(LoopId loop, Iteration iteration) {
+  const Guard guard = Lock();
   auto it = loops_.find(loop);
   if (it == loops_.end()) return 0;
   LoopData& data = it->second;
@@ -250,6 +262,7 @@ size_t VersionedStore::PruneBelow(LoopId loop, Iteration iteration) {
 }
 
 void VersionedStore::RecoverToDurable(LoopId loop) {
+  const Guard guard = Lock();
   auto it = loops_.find(loop);
   if (it == loops_.end()) return;
   const Iteration watermark = it->second.durable;
@@ -260,9 +273,13 @@ void VersionedStore::RecoverToDurable(LoopId loop) {
   TruncateAfter(loop, watermark);
 }
 
-void VersionedStore::DropLoop(LoopId loop) { loops_.erase(loop); }
+void VersionedStore::DropLoop(LoopId loop) {
+  const Guard guard = Lock();
+  loops_.erase(loop);
+}
 
 size_t VersionedStore::ForkLoop(LoopId src, Iteration iteration, LoopId dst) {
+  const Guard guard = Lock();
   auto src_it = loops_.find(src);
   if (src_it == loops_.end()) return 0;
   TCHECK_NE(src, dst);
@@ -287,6 +304,7 @@ size_t VersionedStore::ForkLoop(LoopId src, Iteration iteration, LoopId dst) {
 
 size_t VersionedStore::MergeLoop(LoopId src, LoopId dst,
                                  Iteration dst_iteration) {
+  const Guard guard = Lock();
   auto src_it = loops_.find(src);
   if (src_it == loops_.end()) return 0;
   TCHECK_NE(src, dst);
@@ -303,6 +321,7 @@ size_t VersionedStore::MergeLoop(LoopId src, LoopId dst,
 }
 
 size_t VersionedStore::TotalVersions() const {
+  const Guard guard = Lock();
   size_t n = 0;
   for (const auto& [loop, data] : loops_) {
     for (const auto& [vertex, chain] : data.chains) n += chain.entries.size();
@@ -311,17 +330,20 @@ size_t VersionedStore::TotalVersions() const {
 }
 
 size_t VersionedStore::TotalBytes() const {
+  const Guard guard = Lock();
   size_t n = 0;
   for (const auto& [loop, data] : loops_) n += data.live_bytes;
   return n;
 }
 
 size_t VersionedStore::ArenaBytes(LoopId loop) const {
+  const Guard guard = Lock();
   auto it = loops_.find(loop);
   return it == loops_.end() ? 0 : it->second.arena.size();
 }
 
 uint64_t VersionedStore::ArenaCompactions(LoopId loop) const {
+  const Guard guard = Lock();
   auto it = loops_.find(loop);
   return it == loops_.end() ? 0 : it->second.compactions;
 }

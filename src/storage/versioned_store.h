@@ -2,6 +2,7 @@
 #define TORNADO_STORAGE_VERSIONED_STORE_H_
 
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -64,6 +65,39 @@ class VersionView {
 /// itself once garbage exceeds the live volume.
 class VersionedStore {
  public:
+  /// RAII lock over the whole store; a no-op unless SetThreadSafe(true)
+  /// was called. The underlying mutex is recursive, so holding a Guard
+  /// across a compound sequence (Get + deserialize, read-then-write)
+  /// nests fine with the per-method locking.
+  class Guard {
+   public:
+    explicit Guard(std::recursive_mutex* mu) : mu_(mu) {
+      if (mu_ != nullptr) mu_->lock();
+    }
+    ~Guard() {
+      if (mu_ != nullptr) mu_->unlock();
+    }
+    Guard(Guard&& other) noexcept : mu_(other.mu_) { other.mu_ = nullptr; }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+    Guard& operator=(Guard&&) = delete;
+
+   private:
+    std::recursive_mutex* mu_;
+  };
+
+  /// Thread-safe mode (thread substrate): every public method locks for
+  /// its duration. Callers doing compound reads — holding a VersionView
+  /// across deserialization, or read-then-act sequences — must hold an
+  /// explicit Lock() guard for the whole sequence, because a view is only
+  /// valid until the store's next mutation. Flip before any concurrent
+  /// access; off by default (the sim substrate is single-threaded and
+  /// pays only a null-check per call).
+  void SetThreadSafe(bool on) { thread_safe_ = on; }
+
+  /// Acquires the store lock (no-op guard when thread-safe mode is off).
+  Guard Lock() const { return Guard(thread_safe_ ? &mu_ : nullptr); }
+
   /// Appends (or overwrites) the version of `vertex` at `iteration`.
   void Put(LoopId loop, VertexId vertex, Iteration iteration,
            std::vector<uint8_t> value);
@@ -165,6 +199,8 @@ class VersionedStore {
   void MaybeCompact(LoopData& data);
 
   std::unordered_map<LoopId, LoopData> loops_;
+  bool thread_safe_ = false;
+  mutable std::recursive_mutex mu_;
 };
 
 }  // namespace tornado

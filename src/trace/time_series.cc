@@ -8,8 +8,8 @@
 
 namespace tornado {
 
-TimeSeriesSampler::TimeSeriesSampler(EventLoop* loop, double period)
-    : loop_(loop), period_(period) {}
+TimeSeriesSampler::TimeSeriesSampler(Scheduler* scheduler, double period)
+    : scheduler_(scheduler), period_(period) {}
 
 void TimeSeriesSampler::AddProbe(const std::string& name,
                                  std::function<double()> probe) {
@@ -26,13 +26,13 @@ void TimeSeriesSampler::set_recorder(TraceRecorder* recorder,
 void TimeSeriesSampler::Start() {
   if (running_) return;
   running_ = true;
-  timer_ = loop_->Schedule(period_, [this]() { Tick(); });
+  timer_ = scheduler_->ScheduleAfter(period_, [this]() { Tick(); });
 }
 
 void TimeSeriesSampler::Stop() {
   if (!running_) return;
   running_ = false;
-  loop_->Cancel(timer_);
+  scheduler_->Cancel(timer_);
 }
 
 void TimeSeriesSampler::Tick() {
@@ -41,7 +41,7 @@ void TimeSeriesSampler::Tick() {
   // trace session must not accumulate samples while nobody is tracing.
   if (recorder_ == nullptr || recorder_->enabled()) {
     Sample sample;
-    sample.ts = loop_->now();
+    sample.ts = scheduler_->now();
     sample.values.reserve(probes_.size());
     for (size_t i = 0; i < probes_.size(); ++i) {
       const double value = probes_[i]();
@@ -52,7 +52,7 @@ void TimeSeriesSampler::Tick() {
     }
     samples_.push_back(std::move(sample));
   }
-  timer_ = loop_->Schedule(period_, [this]() { Tick(); });
+  timer_ = scheduler_->ScheduleAfter(period_, [this]() { Tick(); });
 }
 
 void TimeSeriesSampler::WriteCsv(std::ostream& os) const {

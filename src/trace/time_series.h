@@ -7,12 +7,12 @@
 #include <string>
 #include <vector>
 
-#include "sim/event_loop.h"
+#include "runtime/substrate.h"
 #include "trace/trace_recorder.h"
 
 namespace tornado {
 
-/// Periodically snapshots a set of named probes on the EventLoop and keeps
+/// Periodically snapshots a set of named probes on the Scheduler and keeps
 /// the samples as a time series: per-loop progress (commit watermark,
 /// staleness spread), session-table queue depths, transport backlog —
 /// whatever the probes read. Exports CSV (one row per tick) and, when a
@@ -26,8 +26,8 @@ namespace tornado {
 /// byte-identical against each other, not against untraced runs.
 class TimeSeriesSampler {
  public:
-  /// Samples every `period` virtual seconds once started.
-  TimeSeriesSampler(EventLoop* loop, double period);
+  /// Samples every `period` substrate seconds once started.
+  TimeSeriesSampler(Scheduler* scheduler, double period);
 
   /// Registers a probe; its value is read at every tick. Add all probes
   /// before Start.
@@ -58,10 +58,10 @@ class TimeSeriesSampler {
  private:
   void Tick();
 
-  EventLoop* loop_;
+  Scheduler* scheduler_;
   double period_;
   bool running_ = false;
-  EventId timer_ = 0;
+  TimerId timer_ = 0;
   TraceRecorder* recorder_ = nullptr;
   uint32_t track_ = 0;
   std::vector<std::string> names_;

@@ -9,7 +9,7 @@
 #include "common/metrics.h"
 #include "engine/observer.h"
 #include "graph/dynamic_graph.h"
-#include "net/network.h"
+#include "runtime/substrate.h"
 #include "trace/trace_recorder.h"
 
 namespace tornado {
@@ -34,7 +34,7 @@ namespace tornado {
 /// Commit staleness (iteration - tau) is additionally observed into the
 /// metric registry's kCommitStaleness distribution when a registry is
 /// given, so bench JSON reports its p50/p95/max.
-class TraceObserver final : public EngineObserver, public NetworkObserver {
+class TraceObserver final : public EngineObserver, public TransportObserver {
  public:
   TraceObserver(TraceRecorder* recorder, HashPartitioner partitioner,
                 uint32_t fallback_track, MetricRegistry* metrics = nullptr);
@@ -62,7 +62,7 @@ class TraceObserver final : public EngineObserver, public NetworkObserver {
   void OnMergeAdopted(LoopId loop, LoopEpoch epoch, VertexId vertex,
                       Iteration merge_iteration) override;
 
-  // --- NetworkObserver ---
+  // --- TransportObserver ---
   void OnSend(NodeId src, NodeId dst, const Payload& payload) override;
   void OnDeliver(NodeId src, NodeId dst, const Payload& payload) override;
   void OnNodeKilled(NodeId node) override;

@@ -62,8 +62,8 @@ void WriteArgs(std::ostream& os, const TraceArgs& args) {
 
 }  // namespace
 
-TraceRecorder::TraceRecorder(const EventLoop* loop, size_t max_events)
-    : loop_(loop), max_events_(max_events) {}
+TraceRecorder::TraceRecorder(const Clock* clock, size_t max_events)
+    : clock_(clock), max_events_(max_events) {}
 
 void TraceRecorder::SetTrackName(uint32_t track, const std::string& name) {
   track_names_[track] = name;
@@ -95,7 +95,7 @@ void TraceRecorder::Instant(const char* cat, const char* name, uint32_t track,
                             TraceArgs args) {
   if (!enabled_) return;
   TraceEvent ev;
-  ev.ts = loop_->now();
+  ev.ts = clock_->now();
   ev.ph = 'i';
   ev.track = track;
   ev.cat = cat;
@@ -108,7 +108,7 @@ void TraceRecorder::Counter(const char* cat, const std::string& name,
                             uint32_t track, double value) {
   if (!enabled_) return;
   TraceEvent ev;
-  ev.ts = loop_->now();
+  ev.ts = clock_->now();
   ev.ph = 'C';
   ev.track = track;
   ev.cat = cat;
@@ -121,7 +121,7 @@ void TraceRecorder::Flow(char phase, const char* cat, const char* name,
                          uint32_t track, uint64_t flow_id) {
   if (!enabled_) return;
   TraceEvent ev;
-  ev.ts = loop_->now();
+  ev.ts = clock_->now();
   ev.ph = phase;
   ev.track = track;
   ev.cat = cat;

@@ -8,7 +8,7 @@
 #include <string>
 #include <vector>
 
-#include "sim/event_loop.h"
+#include "runtime/substrate.h"
 #include "trace/trace_event.h"
 
 namespace tornado {
@@ -32,15 +32,15 @@ class TraceRecorder {
  public:
   static constexpr size_t kDefaultMaxEvents = 500000;
 
-  explicit TraceRecorder(const EventLoop* loop,
+  explicit TraceRecorder(const Clock* clock,
                          size_t max_events = kDefaultMaxEvents);
 
   void Pause() { enabled_ = false; }
   void Resume() { enabled_ = true; }
   bool enabled() const { return enabled_; }
 
-  /// Current virtual time (for subscribers synthesizing spans).
-  double now() const { return loop_->now(); }
+  /// Current substrate time (for subscribers synthesizing spans).
+  double now() const { return clock_->now(); }
 
   /// Names a track ("processor 0", "master", ...) in the exported view.
   void SetTrackName(uint32_t track, const std::string& name);
@@ -78,7 +78,7 @@ class TraceRecorder {
  private:
   void Push(TraceEvent ev);
 
-  const EventLoop* loop_;
+  const Clock* clock_;
   bool enabled_ = true;
   size_t max_events_;
   size_t dropped_ = 0;

@@ -9,6 +9,7 @@
 
 #include "algos/sssp.h"
 #include "core/cluster.h"
+#include "runtime/sim_substrate.h"
 #include "storage/durable_store.h"
 #include "stream/graph_stream.h"
 #include "tests/test_util.h"
@@ -145,6 +146,32 @@ TEST_F(DurableStoreTest, FlushWithoutOpenFails) {
   DurableStore durable;
   durable.Put(0, 1, 1, {1});
   EXPECT_FALSE(durable.Flush(0, 1).ok());
+}
+
+TEST_F(DurableStoreTest, AutoFlushMakesWritesDurableOnThePeriod) {
+  EventLoop loop;
+  SimScheduler scheduler(&loop);
+  DurableStore durable;
+  ASSERT_TRUE(durable.Open(path_).ok());
+  durable.ScheduleAutoFlush(&scheduler, /*period=*/0.5);
+
+  durable.Put(0, 1, 1, {1});
+  loop.RunUntil(0.4);
+  EXPECT_EQ(durable.store().DirtyVersions(0), 1u) << "flushed too early";
+  loop.RunUntil(0.6);
+  EXPECT_EQ(durable.store().DirtyVersions(0), 0u);
+  EXPECT_EQ(durable.auto_flushes(), 1u);
+
+  // The timer re-arms: a later write goes durable on the next tick.
+  durable.Put(0, 2, 3, {3});
+  loop.RunUntil(1.1);
+  EXPECT_EQ(durable.store().DirtyVersions(0), 0u);
+
+  // Close cancels the schedule; no further ticks fire.
+  ASSERT_TRUE(durable.Close().ok());
+  const uint64_t ticks = durable.auto_flushes();
+  loop.RunUntil(5.0);
+  EXPECT_EQ(durable.auto_flushes(), ticks);
 }
 
 }  // namespace

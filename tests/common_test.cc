@@ -192,7 +192,7 @@ TEST(MetricRegistryTest, HandlesSurviveReset) {
   MetricRegistry metrics;
   Histogram& handle = metrics.HistogramHandle("staleness");
   handle.Add(2.0);
-  int64_t& counter = metrics.CounterHandle("commits");
+  std::atomic<int64_t>& counter = metrics.CounterHandle("commits");
   counter = 7;
   metrics.Reset();
   // Reset clears in place: both handles stay valid and read as empty.

@@ -55,10 +55,10 @@ RunResult RunOnce() {
   const uint64_t query = cluster.ingester().SubmitQuery();
   EXPECT_TRUE(cluster.RunUntilQueryDone(query, 600.0));
   result.query_latency = cluster.QueryLatency(query);
-  result.messages = cluster.network().metrics().Get(metric::kMessagesSent);
+  result.messages = cluster.metrics().Get(metric::kMessagesSent);
   result.commits =
-      cluster.network().metrics().Get(metric::kUpdatesCommitted);
-  result.prepares = cluster.network().metrics().Get(metric::kPreparesSent);
+      cluster.metrics().Get(metric::kUpdatesCommitted);
+  result.prepares = cluster.metrics().Get(metric::kPreparesSent);
   result.main_watermark = cluster.master().LastTerminated(kMainLoop);
   const LoopId branch = cluster.BranchOf(query);
   for (VertexId v = 0; v < options.num_vertices; ++v) {

@@ -167,7 +167,7 @@ TEST(SsspEngineDetailTest, SynchronousBoundUsesNoPrepares) {
   ASSERT_TRUE(cluster.RunUntilQueryDone(query, 600.0));
   // Section 4.4 / Table 2: with B = 1 the execution is synchronous and no
   // PREPARE messages are needed.
-  EXPECT_EQ(cluster.network().metrics().Get(metric::kPreparesSent), 0);
+  EXPECT_EQ(cluster.metrics().Get(metric::kPreparesSent), 0);
 }
 
 TEST(SsspEngineDetailTest, AsyncLoopUsesPrepares) {
@@ -177,7 +177,7 @@ TEST(SsspEngineDetailTest, AsyncLoopUsesPrepares) {
   cluster.Start();
   ASSERT_TRUE(cluster.RunUntilEmitted(graph_options.num_tuples, 600.0));
   cluster.RunFor(2.0);
-  EXPECT_GT(cluster.network().metrics().Get(metric::kPreparesSent), 0);
+  EXPECT_GT(cluster.metrics().Get(metric::kPreparesSent), 0);
 }
 
 }  // namespace

@@ -80,7 +80,7 @@ TEST_P(ProcessorFailureTest, BranchSurvivesProcessorCrash) {
 
   const uint64_t query = cluster.ingester().SubmitQuery();
   // Crash a worker shortly after the branch starts; recover 0.5s later.
-  const double t0 = cluster.loop().now();
+  const double t0 = cluster.now();
   cluster.failures().CrashFor(cluster.processor_node(1), t0 + 0.05, 0.5);
 
   ASSERT_TRUE(cluster.RunUntilQueryDone(query, 3000.0))
@@ -106,7 +106,7 @@ TEST_P(MasterFailureTest, BranchSurvivesMasterCrash) {
   cluster.RunFor(1.0);
 
   const uint64_t query = cluster.ingester().SubmitQuery();
-  const double t0 = cluster.loop().now();
+  const double t0 = cluster.now();
   cluster.failures().CrashFor(cluster.master_node(), t0 + 0.05, 0.5);
 
   ASSERT_TRUE(cluster.RunUntilQueryDone(query, 3000.0))
@@ -134,13 +134,13 @@ TEST(FailureSemanticsTest, AsyncLoopKeepsCommittingDuringMasterDowntime) {
   const uint64_t query = cluster.ingester().SubmitQuery();
   (void)query;
   cluster.RunFor(0.05);  // branch warm-up
-  cluster.network().KillNode(cluster.master_node());
+  cluster.transport().KillNode(cluster.master_node());
 
   const int64_t before =
-      cluster.network().metrics().Get(metric::kUpdatesCommitted);
+      cluster.metrics().Get(metric::kUpdatesCommitted);
   cluster.RunFor(0.5);
   const int64_t during =
-      cluster.network().metrics().Get(metric::kUpdatesCommitted);
+      cluster.metrics().Get(metric::kUpdatesCommitted);
   EXPECT_GT(during, before)
       << "async branch loop stalled while the master was down";
 }
@@ -159,14 +159,14 @@ TEST(FailureSemanticsTest, SyncLoopStallsDuringMasterDowntime) {
   const uint64_t query = cluster.ingester().SubmitQuery();
   (void)query;
   cluster.RunFor(0.2);  // let a few synchronous iterations run
-  cluster.network().KillNode(cluster.master_node());
+  cluster.transport().KillNode(cluster.master_node());
   cluster.RunFor(0.3);  // in-flight work drains, then everything blocks
 
   const int64_t stalled_at =
-      cluster.network().metrics().Get(metric::kUpdatesCommitted);
+      cluster.metrics().Get(metric::kUpdatesCommitted);
   cluster.RunFor(0.5);
   const int64_t later =
-      cluster.network().metrics().Get(metric::kUpdatesCommitted);
+      cluster.metrics().Get(metric::kUpdatesCommitted);
   EXPECT_EQ(later, stalled_at)
       << "synchronous loop kept committing without a master";
 }

@@ -1,0 +1,14 @@
+// Fixture: RUN-001 (substrate layering). Never compiled, only scanned.
+// This file does not live under src/sim, src/net, or src/runtime/sim_*,
+// so naming the concrete substrate headers must fire.
+#include "sim/event_loop.h"  // fires
+#include "net/network.h"     // fires
+
+// NOLINTNEXTLINE(RUN-001): fixture exercising the suppression path.
+#include "sim/event_loop.h"
+
+namespace fixture {
+
+void UseLoop() {}
+
+}  // namespace fixture

@@ -66,7 +66,7 @@ TEST(LintTest, EveryRuleFiresOnItsFixture) {
   const LintRun run = RunLint("--json " + Fixtures());
   ASSERT_EQ(run.exit_code, 1) << run.output;
   for (const char* rule :
-       {"DET-001", "DET-002", "DET-003", "DET-004", "SER-001"}) {
+       {"DET-001", "DET-002", "DET-003", "DET-004", "SER-001", "RUN-001"}) {
     EXPECT_GE(CountFindings(run.output, rule, /*suppressed=*/false), 1)
         << rule << " did not fire:\n" << run.output;
   }
@@ -75,7 +75,7 @@ TEST(LintTest, EveryRuleFiresOnItsFixture) {
 TEST(LintTest, NolintWithReasonSuppresses) {
   const LintRun run = RunLint("--json " + Fixtures());
   ASSERT_EQ(run.exit_code, 1) << run.output;
-  for (const char* rule : {"DET-001", "DET-002", "DET-003", "DET-004"}) {
+  for (const char* rule : {"DET-001", "DET-002", "DET-003", "DET-004", "RUN-001"}) {
     EXPECT_GE(CountFindings(run.output, rule, /*suppressed=*/true), 1)
         << rule << " suppression fixture not honored:\n" << run.output;
   }

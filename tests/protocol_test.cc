@@ -100,7 +100,7 @@ TEST(DelayBoundTest, SmallBoundsBlockUpdates) {
                          std::make_unique<GraphStream>(options));
   cluster.Start();
   ASSERT_TRUE(cluster.RunUntilEmitted(4000, 600.0));
-  EXPECT_GT(cluster.network().metrics().Get(metric::kUpdatesBlocked), 0)
+  EXPECT_GT(cluster.metrics().Get(metric::kUpdatesBlocked), 0)
       << "a tight delay bound must actually block update propagation";
 }
 
@@ -117,9 +117,9 @@ TEST(MasterJournalTest, MainLoopSurvivesMasterCrashAndKeepsTerminating) {
   ASSERT_TRUE(cluster.RunUntilEmitted(2000, 600.0));
   const Iteration before = cluster.master().LastTerminated(kMainLoop);
 
-  cluster.network().KillNode(cluster.master_node());
+  cluster.transport().KillNode(cluster.master_node());
   cluster.RunFor(0.3);
-  cluster.network().RecoverNode(cluster.master_node());
+  cluster.transport().RecoverNode(cluster.master_node());
 
   ASSERT_TRUE(cluster.RunUntilEmitted(6000, 600.0));
   cluster.RunFor(2.0);
@@ -238,7 +238,7 @@ TEST(IngesterTest, PauseResumeDeliversEveryTupleExactlyOnce) {
   EXPECT_EQ(cluster.ingester().emitted(), 2000u);
   EXPECT_TRUE(cluster.ingester().exhausted());
   // Every emitted tuple was gathered exactly once.
-  EXPECT_EQ(cluster.network().metrics().Get(metric::kInputsGathered), 2000);
+  EXPECT_EQ(cluster.metrics().Get(metric::kInputsGathered), 2000);
 }
 
 }  // namespace

@@ -1,0 +1,138 @@
+// Cross-backend equivalence (docs/RUNTIME.md): the same job must behave
+// identically on the deterministic simulation across runs (byte-identical
+// causal trace), and the thread backend — real OS threads, wall clock,
+// in-process mailboxes — must converge to the same pagerank fixed point
+// once both backends have ingested the identical stream.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "algos/pagerank.h"
+#include "check/invariant_checker.h"
+#include "core/cluster.h"
+#include "stream/graph_stream.h"
+#include "trace/trace_recorder.h"
+
+namespace tornado {
+namespace {
+
+constexpr uint64_t kVertices = 80;
+constexpr uint64_t kTuples = 500;
+
+JobConfig MakeConfig(SubstrateBackend backend) {
+  JobConfig config;
+  // Tolerance far below the comparison bound: the branch loops then relax
+  // all the way to the (unique) fixed point of the final graph, so both
+  // backends must agree to ~1e-11 even though their main loops took
+  // different paths to it.
+  config.program =
+      std::make_shared<PageRankProgram>(/*damping=*/0.85, /*tolerance=*/1e-12);
+  config.delay_bound = 64;
+  config.num_processors = 4;  // thread backend: >= 4 real node threads
+  config.num_hosts = 2;
+  config.ingest_rate = 8000.0;
+  config.merge_branches = true;
+  config.seed = 42;
+  config.backend = backend;
+  return config;
+}
+
+GraphStreamOptions MakeStream() {
+  GraphStreamOptions options;
+  options.num_vertices = kVertices;
+  options.num_tuples = kTuples;
+  options.preferential = 0.7;
+  options.deletion_ratio = 0.05;
+  return options;
+}
+
+// Ingests the whole stream, queries the final graph, and returns the
+// converged branch ranks keyed by vertex. The invariant checker rides
+// along; any protocol violation fails the test.
+std::map<VertexId, double> RunToFixedPoint(SubstrateBackend backend,
+                                           std::string* trace_json) {
+  JobConfig config = MakeConfig(backend);
+
+  // Declared before the cluster: observers must outlive it (on the thread
+  // backend, node threads report into the checker until Shutdown joins).
+  CheckObserver::Options check_options;
+  check_options.abort_on_violation = false;
+  CheckObserver checker(check_options);
+
+  TornadoCluster cluster(config, std::make_unique<GraphStream>(MakeStream()));
+  cluster.AddEngineObserver(&checker);
+
+  if (trace_json != nullptr) cluster.EnableTracing();
+
+  cluster.Start();
+  EXPECT_TRUE(cluster.RunUntilEmitted(kTuples, 600.0));
+  cluster.ingester().Pause();
+  cluster.RunFor(0.3);  // drain in-flight input
+
+  const uint64_t query = cluster.ingester().SubmitQuery();
+  EXPECT_TRUE(cluster.RunUntilQueryDone(query, 600.0));
+  const LoopId branch = cluster.BranchOf(query);
+
+  std::map<VertexId, double> ranks;
+  for (VertexId v = 0; v < kVertices; ++v) {
+    auto state = cluster.ReadVertexState(branch, v);
+    if (state == nullptr) continue;
+    ranks[v] = static_cast<const PageRankState&>(*state).rank;
+  }
+  EXPECT_FALSE(ranks.empty());
+
+  cluster.DeepCheckInvariants();
+  EXPECT_TRUE(checker.violations().empty())
+      << checker.violations().size() << " protocol violations on the "
+      << cluster.substrate().name() << " backend, first: "
+      << (checker.violations().empty()
+              ? ""
+              : checker.violations()[0].invariant + ": " +
+                    checker.violations()[0].detail);
+
+  if (trace_json != nullptr) {
+    std::ostringstream os;
+    cluster.trace()->WriteChromeTrace(os);
+    *trace_json = os.str();
+  }
+  return ranks;
+}
+
+TEST(SubstrateEquivalenceTest, SimRunsAreByteIdentical) {
+  std::string trace_a;
+  std::string trace_b;
+  const auto ranks_a = RunToFixedPoint(SubstrateBackend::kSim, &trace_a);
+  const auto ranks_b = RunToFixedPoint(SubstrateBackend::kSim, &trace_b);
+
+  ASSERT_FALSE(trace_a.empty());
+  // The full causal trace — every event, timestamp, and argument — must
+  // match byte for byte: the sim backend's determinism guarantee.
+  EXPECT_EQ(trace_a, trace_b);
+  EXPECT_EQ(ranks_a, ranks_b);
+}
+
+TEST(SubstrateEquivalenceTest, ThreadBackendReachesSimFixedPoint) {
+  const auto sim_ranks = RunToFixedPoint(SubstrateBackend::kSim, nullptr);
+  const auto thread_ranks =
+      RunToFixedPoint(SubstrateBackend::kThread, nullptr);
+
+  // Both backends ingested the identical stream (it is exhausted before
+  // the query), so the branch loops solve the same system and must land
+  // on the same fixed point.
+  ASSERT_EQ(sim_ranks.size(), thread_ranks.size());
+  double max_delta = 0.0;
+  for (const auto& [vertex, rank] : sim_ranks) {
+    const auto it = thread_ranks.find(vertex);
+    ASSERT_NE(it, thread_ranks.end()) << "vertex " << vertex;
+    max_delta = std::max(max_delta, std::fabs(rank - it->second));
+  }
+  EXPECT_LE(max_delta, 1e-9) << "backends diverged by " << max_delta;
+}
+
+}  // namespace
+}  // namespace tornado

@@ -54,7 +54,7 @@ TracedRun RunOnce(bool with_failure) {
   EXPECT_TRUE(cluster.RunUntilEmitted(400, 600.0));
   if (with_failure) {
     cluster.failures().CrashFor(cluster.processor_node(1),
-                                cluster.loop().now() + 0.02, 0.3);
+                                cluster.now() + 0.02, 0.3);
   }
   cluster.RunFor(0.6);
 

@@ -50,8 +50,8 @@ TEST(TraceRecoveryTest, ReportExtractsAPositiveRecoveryGap) {
   cluster.RunFor(1.0);
 
   const NodeId victim = cluster.processor_node(1);
-  cluster.network().KillNode(victim);
-  cluster.failures().RecoverAt(victim, cluster.loop().now() + 0.4);
+  cluster.transport().KillNode(victim);
+  cluster.failures().RecoverAt(victim, cluster.now() + 0.4);
   cluster.RunFor(1.5);  // recovery rollback + enough time to commit again
 
   std::ostringstream os;

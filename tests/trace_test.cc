@@ -11,6 +11,7 @@
 
 #include "algos/sssp.h"
 #include "core/cluster.h"
+#include "runtime/sim_substrate.h"
 #include "sim/event_loop.h"
 #include "stream/graph_stream.h"
 #include "trace/report.h"
@@ -27,7 +28,8 @@ namespace {
 
 TEST(TraceRecorderTest, WritesWellFormedChromeJson) {
   EventLoop loop;
-  TraceRecorder recorder(&loop);
+  SimScheduler sched(&loop);
+  TraceRecorder recorder(&sched);
   recorder.SetTrackName(0, "processor 0");
   recorder.SetTrackName(1, "master");
 
@@ -61,7 +63,8 @@ TEST(TraceRecorderTest, WritesWellFormedChromeJson) {
 
 TEST(TraceRecorderTest, PauseDropsRecordCalls) {
   EventLoop loop;
-  TraceRecorder recorder(&loop);
+  SimScheduler sched(&loop);
+  TraceRecorder recorder(&sched);
   recorder.Instant(trace_cat::kProtocol, "a", 0);
   recorder.Pause();
   recorder.Instant(trace_cat::kProtocol, "b", 0);
@@ -75,7 +78,8 @@ TEST(TraceRecorderTest, PauseDropsRecordCalls) {
 
 TEST(TraceRecorderTest, CapCountsOverflowInsteadOfGrowing) {
   EventLoop loop;
-  TraceRecorder recorder(&loop, /*max_events=*/3);
+  SimScheduler sched(&loop);
+  TraceRecorder recorder(&sched, /*max_events=*/3);
   for (int i = 0; i < 10; ++i) {
     recorder.Instant(trace_cat::kProtocol, "e", 0);
   }
@@ -88,7 +92,8 @@ TEST(TraceRecorderTest, CapCountsOverflowInsteadOfGrowing) {
 
 TEST(TraceRecorderTest, FlowEndpointsCarryTheCauseId) {
   EventLoop loop;
-  TraceRecorder recorder(&loop);
+  SimScheduler sched(&loop);
+  TraceRecorder recorder(&sched);
   recorder.Flow('s', trace_cat::kFlow, "cause", 0, 77);
   recorder.Flow('f', trace_cat::kFlow, "cause", 1, 77);
   std::ostringstream os;
@@ -106,7 +111,8 @@ TEST(TraceRecorderTest, FlowEndpointsCarryTheCauseId) {
 
 TEST(TimeSeriesSamplerTest, SamplesProbesOnThePeriod) {
   EventLoop loop;
-  TimeSeriesSampler sampler(&loop, /*period=*/0.1);
+  SimScheduler sched(&loop);
+  TimeSeriesSampler sampler(&sched, /*period=*/0.1);
   double value = 0.0;
   sampler.AddProbe("value", [&]() { return value; });
   sampler.Start();
@@ -129,9 +135,10 @@ TEST(TimeSeriesSamplerTest, SamplesProbesOnThePeriod) {
 
 TEST(TimeSeriesSamplerTest, PausedRecorderSuppressesSamples) {
   EventLoop loop;
-  TraceRecorder recorder(&loop);
+  SimScheduler sched(&loop);
+  TraceRecorder recorder(&sched);
   recorder.Pause();
-  TimeSeriesSampler sampler(&loop, 0.1);
+  TimeSeriesSampler sampler(&sched, 0.1);
   sampler.AddProbe("p", []() { return 1.0; });
   sampler.set_recorder(&recorder, 0);
   sampler.Start();
@@ -152,7 +159,8 @@ TEST(TimeSeriesSamplerTest, PausedRecorderSuppressesSamples) {
 
 TEST(TraceReportTest, AttributesStallsAndComputesRecoveryGap) {
   EventLoop loop;
-  TraceRecorder recorder(&loop);
+  SimScheduler sched(&loop);
+  TraceRecorder recorder(&sched);
 
   // Synthesized run: vertex 7 stalls twice on loop 1, node 2 fails at
   // t=1.0, recovers at t=2.0, and commits again at t=2.4.
@@ -217,7 +225,8 @@ TEST(TraceReportTest, AttributesStallsAndComputesRecoveryGap) {
 
 TEST(TraceReportTest, MasterFailureFallsBackToClusterWideCommit) {
   EventLoop loop;
-  TraceRecorder recorder(&loop);
+  SimScheduler sched(&loop);
+  TraceRecorder recorder(&sched);
   loop.Schedule(1.0, [&]() {
     recorder.Instant(trace_cat::kFailure, "node_killed", 8, {{"node", 8}});
   });
@@ -295,7 +304,7 @@ TEST(ClusterTracingTest, EnableTracingCapturesProtocolAndTransport) {
 
   // Commit staleness flowed into the metric registry's distribution.
   const Histogram* staleness =
-      cluster.network().metrics().GetHistogram(metric::kCommitStaleness);
+      cluster.metrics().GetHistogram(metric::kCommitStaleness);
   ASSERT_NE(staleness, nullptr);
   EXPECT_GT(staleness->count(), 0u);
 }

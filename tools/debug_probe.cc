@@ -31,7 +31,7 @@ int main() {
   ProbeObserver probe;
   cluster.AddEngineObserver(&probe);
   cluster.Start();
-  cluster.RunUntil([&]{ return cluster.loop().now() >= 1.0; }, 100);
+  cluster.RunUntil([&]{ return cluster.now() >= 1.0; }, 100);
   uint64_t q = cluster.ingester().SubmitQuery();
   bool ok = cluster.RunUntilQueryDone(q, 600);
   LoopId b = cluster.BranchOf(q);

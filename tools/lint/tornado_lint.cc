@@ -17,6 +17,10 @@
 //   DET-004  pointer-keyed ordered container (ordering = allocation order)
 //   SER-001  Payload struct in core/messages.h missing from the
 //            TORNADO_MESSAGE_SERDE registry in core/message_serde.cc
+//   RUN-001  #include of a concrete substrate type (sim/event_loop.h,
+//            net/network.h) outside the substrate layer itself
+//            (src/sim/, src/net/, src/runtime/sim_*) — everything else
+//            must program against runtime/substrate.h
 //
 // Suppression (clang-tidy style; the reason is mandatory):
 //   code;  // NOLINT(DET-003): why this is safe.
@@ -82,6 +86,9 @@ const RuleInfo kRules[] = {
     {"SER-001",
      "Payload struct missing from the message serde registry",
      "add TORNADO_MESSAGE_SERDE(<struct>) to core/message_serde.cc"},
+    {"RUN-001",
+     "concrete substrate type included outside the substrate layer",
+     "include runtime/substrate.h and take Clock*/Scheduler*/Transport*"},
 };
 
 const RuleInfo* FindRule(const std::string& id) {
@@ -322,7 +329,11 @@ class Linter {
 
 bool ExemptFromClockRules(const std::string& path) {
   return path.find("bench/") != std::string::npos ||
-         path.find("tools/") != std::string::npos;
+         path.find("tools/") != std::string::npos ||
+         // The substrate layer is the one place allowed to touch host
+         // clocks: the thread backend wraps steady_clock, and the seam
+         // header declares the clock() accessors everyone else calls.
+         path.find("runtime/") != std::string::npos;
 }
 
 void CheckWallClock(const SourceFile& f, Linter* lint) {
@@ -343,6 +354,12 @@ void CheckWallClock(const SourceFile& f, Linter* lint) {
   // common as substrings of member names to match unqualified).
   for (const char* word : {"time", "clock"}) {
     for (size_t pos : FindWord(f.code, word)) {
+      // A member call (`substrate_->clock()`, `sampler.time()`) targets a
+      // repo abstraction such as runtime/substrate.h's Clock, not libc.
+      const bool member_call =
+          (pos >= 1 && f.code[pos - 1] == '.') ||
+          (pos >= 2 && f.code[pos - 2] == '-' && f.code[pos - 1] == '>');
+      if (member_call) continue;
       if (NextNonSpaceIs(f.code, pos + std::string(word).size(), '(')) {
         lint->Report(f, pos, "DET-001",
                      std::string(word) + "() reads the host's wall clock; "
@@ -548,6 +565,38 @@ void CheckPointerKeys(const SourceFile& f, Linter* lint) {
   }
 }
 
+// --- RUN-001: substrate layering. ---
+
+// Only the substrate layer itself may name the concrete simulation types;
+// every other layer programs against runtime/substrate.h so the thread
+// backend (or a future one) can slot in underneath it.
+bool ExemptFromRuntimeIncludeRule(const std::string& path) {
+  return path.find("src/sim/") != std::string::npos ||
+         path.find("src/net/") != std::string::npos ||
+         path.find("src/runtime/sim_") != std::string::npos;
+}
+
+void CheckRuntimeIncludes(const SourceFile& f, Linter* lint) {
+  if (ExemptFromRuntimeIncludeRule(f.path)) return;
+  static const char* kConcreteHeaders[] = {"sim/event_loop.h",
+                                           "net/network.h"};
+  // Scan the raw lines: include paths are string literals, which the
+  // blanked `code` buffer has erased.
+  for (size_t i = 0; i < f.raw_lines.size(); ++i) {
+    const std::string& line = f.raw_lines[i];
+    if (line.find("#include") == std::string::npos) continue;
+    for (const char* header : kConcreteHeaders) {
+      if (line.find('"' + std::string(header) + '"') == std::string::npos) {
+        continue;
+      }
+      lint->Report(f, f.line_starts[i], "RUN-001",
+                   "#include \"" + std::string(header) + "\" reaches for a "
+                   "concrete substrate type outside src/sim, src/net, and "
+                   "the sim backend under src/runtime");
+    }
+  }
+}
+
 // --- SER-001: serde registry coverage. ---
 
 void CheckSerdeRegistry(const std::vector<SourceFile>& files, Linter* lint) {
@@ -688,6 +737,7 @@ int main(int argc, char** argv) {
     CheckRandom(f, &lint);
     CheckUnorderedIteration(f, unordered, &lint);
     CheckPointerKeys(f, &lint);
+    CheckRuntimeIncludes(f, &lint);
   }
   CheckSerdeRegistry(files, &lint);
 
