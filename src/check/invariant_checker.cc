@@ -47,7 +47,7 @@ void CheckObserver::Violate(CheckViolation violation) {
 
 void CheckObserver::OnPrepare(LoopId loop, LoopEpoch epoch, VertexId producer,
                               uint64_t fanout) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(&mu_);
   LoopCheck* lc = Resolve(loop, epoch);
   if (lc == nullptr) return;
   VertexCheck& v = lc->vertices[producer];
@@ -62,7 +62,7 @@ void CheckObserver::OnPrepare(LoopId loop, LoopEpoch epoch, VertexId producer,
 
 void CheckObserver::OnAck(LoopId loop, LoopEpoch epoch, VertexId /*consumer*/,
                           VertexId producer, Iteration /*iteration*/) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(&mu_);
   LoopCheck* lc = Resolve(loop, epoch);
   if (lc == nullptr) return;
   auto it = lc->vertices.find(producer);
@@ -74,7 +74,7 @@ void CheckObserver::OnAck(LoopId loop, LoopEpoch epoch, VertexId /*consumer*/,
 void CheckObserver::OnCommit(LoopId loop, LoopEpoch epoch, VertexId vertex,
                              Iteration iteration, Iteration tau,
                              Iteration horizon) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(&mu_);
   LoopCheck* lc = Resolve(loop, epoch);
   if (lc == nullptr) return;
   ++commits_checked_;
@@ -124,14 +124,14 @@ void CheckObserver::OnCommit(LoopId loop, LoopEpoch epoch, VertexId vertex,
 
 void CheckObserver::OnLoopCreated(LoopId loop, LoopEpoch epoch, Iteration tau,
                                   uint32_t processor) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(&mu_);
   LoopCheck* lc = Resolve(loop, epoch);
   if (lc == nullptr) return;
   lc->tau_by_processor[processor] = tau;
 }
 
 void CheckObserver::OnLoopDropped(LoopId loop, uint32_t processor) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(&mu_);
   ++events_seen_;
   auto it = loops_.find(loop);
   if (it == loops_.end()) return;
@@ -140,7 +140,7 @@ void CheckObserver::OnLoopDropped(LoopId loop, uint32_t processor) {
 }
 
 void CheckObserver::OnEngineReset(uint32_t processor) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(&mu_);
   ++events_seen_;
   // A worker restart voids every in-flight expectation this checker holds:
   // the restarted processor rebuilds its partition from the store and may
@@ -155,7 +155,7 @@ void CheckObserver::OnEngineReset(uint32_t processor) {
 
 void CheckObserver::OnTerminated(LoopId loop, LoopEpoch epoch,
                                  uint32_t processor, Iteration new_tau) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(&mu_);
   LoopCheck* lc = Resolve(loop, epoch);
   if (lc == nullptr) return;
   auto [it, inserted] = lc->tau_by_processor.try_emplace(processor, new_tau);
@@ -173,7 +173,7 @@ void CheckObserver::OnTerminated(LoopId loop, LoopEpoch epoch,
 void CheckObserver::OnMergeAdopted(LoopId loop, LoopEpoch epoch,
                                    VertexId vertex,
                                    Iteration merge_iteration) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(&mu_);
   LoopCheck* lc = Resolve(loop, epoch);
   if (lc == nullptr) return;
   VertexCheck& v = lc->vertices[vertex];
@@ -184,8 +184,9 @@ void CheckObserver::OnMergeAdopted(LoopId loop, LoopEpoch epoch,
 }
 
 void CheckObserver::DeepCheck(const SessionTable& sessions) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(&mu_);
   ForEachOrdered(sessions.loops(), [&](LoopId loop, const LoopState& ls) {
+    mu_.AssertHeld();  // lambda runs under the lock taken above
     uint64_t buffered = 0;
     for (const auto& [iter, batch] : ls.blocked) buffered += batch.size();
     if (buffered != ls.blocked_count) {
@@ -200,6 +201,7 @@ void CheckObserver::DeepCheck(const SessionTable& sessions) {
       }
     }
     ForEachOrdered(ls.vertices, [&](VertexId id, const VertexSession& s) {
+      mu_.AssertHeld();
       const bool quiescent = !s.dirty && !s.update_time.has_value() &&
                              s.prepare_list.empty() &&
                              s.pending_inputs.empty();

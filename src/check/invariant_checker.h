@@ -3,10 +3,10 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/types.h"
 #include "engine/observer.h"
 #include "engine/session_table.h"
@@ -95,11 +95,22 @@ class CheckObserver final : public EngineObserver {
   /// INV-BLOCKED-COUNT, INV-QUIESCENT). Call between dispatches only.
   void DeepCheck(const SessionTable& sessions);
 
-  const std::vector<CheckViolation>& violations() const {
+  /// Snapshot of the recorded violations, by value: on the thread
+  /// substrate node threads may still be appending when the driver polls
+  /// (returning a reference here was a latent race, caught by the
+  /// thread-safety annotation pass).
+  std::vector<CheckViolation> violations() const {
+    const MutexLock lock(&mu_);
     return violations_;
   }
-  uint64_t events_seen() const { return events_seen_; }
-  uint64_t commits_checked() const { return commits_checked_; }
+  uint64_t events_seen() const {
+    const MutexLock lock(&mu_);
+    return events_seen_;
+  }
+  uint64_t commits_checked() const {
+    const MutexLock lock(&mu_);
+    return commits_checked_;
+  }
 
  private:
   struct VertexCheck {
@@ -116,19 +127,19 @@ class CheckObserver final : public EngineObserver {
 
   /// Returns the check state of `loop` at `epoch`, or nullptr when the
   /// event belongs to a superseded epoch. A newer epoch resets the loop.
-  LoopCheck* Resolve(LoopId loop, LoopEpoch epoch);
+  LoopCheck* Resolve(LoopId loop, LoopEpoch epoch) REQUIRES(mu_);
 
-  void Violate(CheckViolation violation);
+  void Violate(CheckViolation violation) REQUIRES(mu_);
 
   // Serializes the hooks: on the thread substrate every processor thread
   // reports into the one cluster-wide checker. Uncontended (sim) this is
   // a fast-path lock; the checker is a debug facility either way.
-  mutable std::mutex mu_;
-  Options options_;
-  std::map<LoopId, LoopCheck> loops_;
-  std::vector<CheckViolation> violations_;
-  uint64_t events_seen_ = 0;
-  uint64_t commits_checked_ = 0;
+  mutable Mutex mu_;
+  Options options_ GUARDED_BY(mu_);
+  std::map<LoopId, LoopCheck> loops_ GUARDED_BY(mu_);
+  std::vector<CheckViolation> violations_ GUARDED_BY(mu_);
+  uint64_t events_seen_ GUARDED_BY(mu_) = 0;
+  uint64_t commits_checked_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace tornado

@@ -5,6 +5,7 @@
 namespace tornado {
 
 std::string MetricRegistry::ToString() const {
+  const MutexLock lock(&mu_);
   std::ostringstream os;
   bool first = true;
   for (const auto& [name, value] : counters_) {

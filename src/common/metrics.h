@@ -7,8 +7,18 @@
 #include <string>
 
 #include "common/histogram.h"
+#include "common/mutex.h"
 
 namespace tornado {
+
+namespace metric {
+/// A pre-resolved counter slot. Handles returned by
+/// MetricRegistry::CounterHandle are plain atomics: bumping one is safe
+/// from any thread with no registry lock involved. Code outside
+/// src/common/ and src/runtime/ should hold `metric::Counter&` rather
+/// than naming std::atomic directly (tornado_lint CON-001).
+using Counter = std::atomic<int64_t>;
+}  // namespace metric
 
 /// A flat bag of named counters plus named sample distributions. The
 /// engine components (transport, session layer, master) account their work
@@ -17,66 +27,84 @@ namespace tornado {
 /// benches feed distributions (query latency, commit staleness) whose
 /// p50/p95/max land in the machine-readable bench output.
 ///
-/// Counter values are atomic so node threads on the thread substrate can
-/// bump them concurrently, but the map STRUCTURE is not protected: an
-/// insert (first Inc/CounterHandle of a new name) racing any other access
-/// is undefined. Multi-threaded users must intern every counter name
-/// up front (ThreadTransport pre-interns the metric:: set); histograms
-/// stay driver-/sim-only.
+/// Locking contract (docs/RUNTIME.md): the map STRUCTURE (interning a
+/// new name) is guarded by mu_, so a first-use Inc from a node thread can
+/// no longer race another lookup; counter VALUES are atomics, so handle
+/// bumps are lock-free. Hot paths pre-resolve handles (CounterHandle /
+/// HistogramHandle) so the per-event cost is one atomic add. Histogram
+/// samples recorded through a handle, and the references returned by
+/// counters()/histograms(), are not serialized by the registry — they are
+/// for the driver after the run quiesces (benches, trace report).
 class MetricRegistry {
  public:
   void Inc(const std::string& name, int64_t delta = 1) {
+    const MutexLock lock(&mu_);
     counters_[name] += delta;
   }
 
   int64_t Get(const std::string& name) const {
+    const MutexLock lock(&mu_);
     auto it = counters_.find(name);
     return it == counters_.end() ? 0 : it->second.load();
   }
 
   /// Pre-resolved counter handle: interns `name` once and returns a stable
   /// reference the caller bumps directly, keeping hot paths free of string
-  /// hashing and map lookups. Handles stay valid for the registry's
-  /// lifetime (std::map nodes are stable, and Reset zeroes values in place
-  /// instead of erasing them).
-  std::atomic<int64_t>& CounterHandle(const std::string& name) {
+  /// hashing, map lookups, and the registry lock. Handles stay valid for
+  /// the registry's lifetime (std::map nodes are stable, and Reset zeroes
+  /// values in place instead of erasing them).
+  metric::Counter& CounterHandle(const std::string& name) {
+    const MutexLock lock(&mu_);
     return counters_[name];
   }
 
   /// Records one sample into the named distribution.
   void Observe(const std::string& name, double value) {
+    const MutexLock lock(&mu_);
     histograms_[name].Add(value);
   }
 
   /// Pre-resolved distribution handle; same lifetime contract as
   /// CounterHandle (Reset clears samples in place, nodes are stable).
+  /// Samples added through the handle bypass the registry lock: driver /
+  /// sim-thread use only.
   Histogram& HistogramHandle(const std::string& name) {
+    const MutexLock lock(&mu_);
     return histograms_[name];
   }
 
   /// The named distribution, or nullptr when nothing was observed.
   const Histogram* GetHistogram(const std::string& name) const {
+    const MutexLock lock(&mu_);
     auto it = histograms_.find(name);
     return it == histograms_.end() ? nullptr : &it->second;
   }
 
   void Reset() {
+    const MutexLock lock(&mu_);
     for (auto& [name, value] : counters_) value = 0;
     for (auto& [name, hist] : histograms_) hist.Clear();
   }
 
-  const std::map<std::string, std::atomic<int64_t>>& counters() const {
+  /// Whole-map views for post-run reporting. The returned references
+  /// escape the lock: read them only after the run quiesces (benches and
+  /// the trace report do), never while node threads are bumping handles
+  /// into new names.
+  const std::map<std::string, metric::Counter>& counters() const {
+    const MutexLock lock(&mu_);
     return counters_;
   }
   const std::map<std::string, Histogram>& histograms() const {
+    const MutexLock lock(&mu_);
     return histograms_;
   }
 
   std::string ToString() const;
 
  private:
-  std::map<std::string, std::atomic<int64_t>> counters_;
-  std::map<std::string, Histogram> histograms_;
+  mutable Mutex mu_;
+  std::map<std::string, metric::Counter> counters_ GUARDED_BY(mu_);
+  std::map<std::string, Histogram> histograms_ GUARDED_BY(mu_);
 };
 
 /// Well-known metric names shared between the engine and the benches.

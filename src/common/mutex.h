@@ -1,0 +1,107 @@
+#ifndef TORNADO_COMMON_MUTEX_H_
+#define TORNADO_COMMON_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace tornado {
+
+/// Annotated synchronization vocabulary for everything above the
+/// substrate seam (docs/RUNTIME.md, "The locking contract"). Node and
+/// engine code must use these wrappers instead of the raw std::
+/// primitives — the tornado_lint CON-001 rule enforces it, and the
+/// clang-thread-safety CI job then proves GUARDED_BY/REQUIRES contracts
+/// at compile time. The wrappers add no state and no behavior beyond
+/// the std types they hold.
+
+/// std::mutex with capability annotations. Prefer MutexLock for plain
+/// critical sections; call Lock/Unlock manually only in service loops
+/// that drop the lock around a callback (see ThreadScheduler::Run).
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Tells the analysis this mutex is held here. Needed inside lambdas:
+  /// clang's analysis does not carry lock state across a capture, so a
+  /// lambda running under the lock re-asserts the fact (no runtime cost).
+  void AssertHeld() ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// std::recursive_mutex with capability annotations, for the one
+/// component whose public methods legitimately re-enter (VersionedStore:
+/// external compound reads hold a Guard across calls that lock again).
+class CAPABILITY("mutex") RecursiveMutex {
+ public:
+  RecursiveMutex() = default;
+  RecursiveMutex(const RecursiveMutex&) = delete;
+  RecursiveMutex& operator=(const RecursiveMutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+
+ private:
+  std::recursive_mutex mu_;
+};
+
+/// RAII critical section over a Mutex.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// Condition variable bound to a Mutex at each wait site. Wraps
+/// std::condition_variable via the adopt-and-release idiom so the
+/// annotated Mutex stays the only lock type in the signature.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks, and re-acquires before returning.
+  /// Spurious wakeups happen: always wait in a predicate loop.
+  void Wait(Mutex* mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // the caller still holds mu
+  }
+
+  /// Like Wait, but returns after at most `seconds` (false on timeout).
+  bool WaitFor(Mutex* mu, double seconds) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    const auto status =
+        cv_.wait_for(lock, std::chrono::duration<double>(seconds));
+    lock.release();
+    return status == std::cv_status::no_timeout;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace tornado
+
+#endif  // TORNADO_COMMON_MUTEX_H_

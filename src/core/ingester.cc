@@ -94,7 +94,7 @@ void Ingester::OnMessage(NodeId src, const Payload& msg) {
     done.submit_time = m->submit_time;
     done.done_time = now();
     {
-      std::lock_guard<std::mutex> lock(completed_mu_);
+      const MutexLock lock(&completed_mu_);
       completed_.push_back(done);
     }
     if (result_hook_) result_hook_(done);

@@ -4,9 +4,10 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
+
+#include "common/mutex.h"
 
 #include "core/config.h"
 #include "core/messages.h"
@@ -60,13 +61,13 @@ class Ingester : public Node {
   /// Snapshot of the completed-query list (by value: on the thread
   /// substrate the ingester thread appends concurrently).
   std::vector<CompletedQuery> completed_queries() const {
-    std::lock_guard<std::mutex> lock(completed_mu_);
+    const MutexLock lock(&completed_mu_);
     return completed_;
   }
 
   /// The completed record for `query_id`, if the query has converged.
   std::optional<CompletedQuery> FindCompleted(uint64_t query_id) const {
-    std::lock_guard<std::mutex> lock(completed_mu_);
+    const MutexLock lock(&completed_mu_);
     for (const CompletedQuery& q : completed_) {
       if (q.query_id == query_id) return q;
     }
@@ -74,10 +75,13 @@ class Ingester : public Node {
   }
 
   /// Invoked after each emission batch with the cumulative tuple count.
+  /// Hooks are part of the wiring phase: set them before Start() — they
+  /// run on the ingester's service thread and are not guarded.
   void set_emit_hook(std::function<void(uint64_t)> hook) {
     emit_hook_ = std::move(hook);
   }
-  /// Invoked when a query's branch loop converges.
+  /// Invoked when a query's branch loop converges. Same contract as
+  /// set_emit_hook: set before Start().
   void set_result_hook(std::function<void(const CompletedQuery&)> hook) {
     result_hook_ = std::move(hook);
   }
@@ -92,20 +96,23 @@ class Ingester : public Node {
   NodeId first_processor_node_;
   NodeId master_node_;
   LoopEpoch main_epoch_ = 0;
-  // Atomics: the driver thread reads progress (and flips pause state)
-  // while the ingester's service thread emits, on the thread substrate.
-  // On the sim substrate everything runs on one thread and the code path
-  // is unchanged.
-  std::atomic<uint64_t> emitted_{0};
-  std::atomic<uint64_t> next_query_id_{1};
-  std::atomic<bool> started_{false};
-  std::atomic<bool> paused_{false};
-  std::atomic<bool> ticking_{false};
-  std::atomic<bool> exhausted_{false};
+  // Atomics (CON-001 suppressed per line): the driver thread reads
+  // progress and flips pause state while the ingester's service thread
+  // emits, on the thread substrate. Each is an independent word with no
+  // compound invariant across them, so a mutex would buy nothing. On the
+  // sim substrate everything runs on one thread, same code path.
+  std::atomic<uint64_t> emitted_{0};        // NOLINT(CON-001): lone counter
+  std::atomic<uint64_t> next_query_id_{1};  // NOLINT(CON-001): lone counter
+  std::atomic<bool> started_{false};        // NOLINT(CON-001): lone flag
+  std::atomic<bool> paused_{false};         // NOLINT(CON-001): lone flag
+  std::atomic<bool> ticking_{false};        // NOLINT(CON-001): lone flag
+  std::atomic<bool> exhausted_{false};      // NOLINT(CON-001): lone flag
+  // Wiring-phase state: set before Start(), then read by the service
+  // thread only (see the hook setters).
   std::function<void(uint64_t)> emit_hook_;
   std::function<void(const CompletedQuery&)> result_hook_;
-  mutable std::mutex completed_mu_;
-  std::vector<CompletedQuery> completed_;
+  mutable Mutex completed_mu_;
+  std::vector<CompletedQuery> completed_ GUARDED_BY(completed_mu_);
 };
 
 }  // namespace tornado

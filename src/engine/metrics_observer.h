@@ -1,7 +1,6 @@
 #ifndef TORNADO_ENGINE_METRICS_OBSERVER_H_
 #define TORNADO_ENGINE_METRICS_OBSERVER_H_
 
-#include <atomic>
 #include <cstdint>
 
 #include "common/metrics.h"
@@ -42,12 +41,12 @@ class MetricsEngineObserver final : public EngineObserver {
   }
 
  private:
-  std::atomic<int64_t>& inputs_gathered_;
-  std::atomic<int64_t>& prepares_sent_;
-  std::atomic<int64_t>& acks_sent_;
-  std::atomic<int64_t>& updates_committed_;
-  std::atomic<int64_t>& updates_blocked_;
-  std::atomic<int64_t>& versions_flushed_;
+  metric::Counter& inputs_gathered_;
+  metric::Counter& prepares_sent_;
+  metric::Counter& acks_sent_;
+  metric::Counter& updates_committed_;
+  metric::Counter& updates_blocked_;
+  metric::Counter& versions_flushed_;
 };
 
 }  // namespace tornado

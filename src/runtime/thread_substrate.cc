@@ -65,48 +65,52 @@ TimerId ThreadScheduler::ScheduleAfter(double delay, std::function<void()> fn) {
 }
 
 TimerId ThreadScheduler::ScheduleAt(double when, std::function<void()> fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(&mu_);
   const TimerId id = ArmLocked(when, std::move(fn));
-  cv_.notify_one();
+  cv_.NotifyOne();
   return id;
 }
 
 void ThreadScheduler::Cancel(TimerId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(&mu_);
   DisarmLocked(id);
   // The queue entry is dropped lazily when its deadline comes up.
 }
 
 void ThreadScheduler::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(&mu_);
     if (stop_) return;
     stop_ = true;
-    cv_.notify_one();
+    cv_.NotifyOne();
   }
   if (thread_.joinable()) thread_.join();
 }
 
 void ThreadScheduler::Run() {
-  std::unique_lock<std::mutex> lock(mu_);
+  // Manual Lock/Unlock rather than a scoped guard: the loop drops mu_
+  // around each callback, and the thread-safety analysis follows the
+  // explicit pairing across the loop's branches.
+  mu_.Lock();
   while (!stop_) {
     if (queue_.empty()) {
-      cv_.wait(lock);
+      cv_.Wait(&mu_);
       continue;
     }
     const double due = queue_.begin()->first;
     const double now_s = clock_->now();
     if (due > now_s) {
-      cv_.wait_for(lock, std::chrono::duration<double>(due - now_s));
+      cv_.WaitFor(&mu_, due - now_s);
       continue;
     }
     Pending p = std::move(queue_.begin()->second);
     queue_.erase(queue_.begin());
     if (!DisarmLocked(p.id)) continue;  // cancelled while queued
-    lock.unlock();
+    mu_.Unlock();
     p.fn();
-    lock.lock();
+    mu_.Lock();
   }
+  mu_.Unlock();
 }
 
 // --- ThreadTransport ---
@@ -114,8 +118,8 @@ void ThreadScheduler::Run() {
 ThreadTransport::ThreadTransport(const Clock* clock, const SubstrateRng* rng)
     : clock_(clock), rng_(rng) {
   // Pre-intern every well-known counter: node threads may bump any of
-  // these concurrently, and MetricRegistry's map structure must not be
-  // mutated once threads run (common/metrics.h contract).
+  // these concurrently. Interning is mutex-guarded now, but resolving
+  // handles up front keeps the per-message cost at one atomic add.
   for (const char* name :
        {metric::kUpdatesCommitted, metric::kPreparesSent, metric::kAcksSent,
         metric::kMessagesSent, metric::kMessagesDelivered,
@@ -157,10 +161,10 @@ void ThreadTransport::Send(NodeId src, NodeId dst, PayloadPtr payload,
   }
   NodeRec& nr = *nodes_[dst];
   {
-    std::lock_guard<std::mutex> lock(nr.mu);
+    const MutexLock lock(&nr.mu);
     nr.queue.push_back(Entry{src, std::move(payload), nullptr});
   }
-  nr.cv.notify_one();
+  nr.cv.NotifyOne();
 }
 
 void ThreadTransport::ScheduleOnNode(NodeId node, double delay,
@@ -169,10 +173,10 @@ void ThreadTransport::ScheduleOnNode(NodeId node, double delay,
   NodeRec& nr = *nodes_[node];
   const double when = clock_->now() + std::max(delay, 0.0);
   {
-    std::lock_guard<std::mutex> lock(nr.mu);
+    const MutexLock lock(&nr.mu);
     nr.timers.emplace(when, Entry{node, nullptr, std::move(fn)});
   }
-  nr.cv.notify_one();
+  nr.cv.NotifyOne();
 }
 
 void ThreadTransport::KillNode(NodeId /*id*/) {
@@ -195,15 +199,15 @@ int64_t ThreadTransport::InFlightCount() const {
 size_t ThreadTransport::InboxDepth(NodeId id) const {
   if (id >= nodes_.size()) return 0;
   NodeRec& nr = *nodes_[id];
-  std::lock_guard<std::mutex> lock(nr.mu);
+  const MutexLock lock(&nr.mu);
   return nr.queue.size();
 }
 
 void ThreadTransport::Open() {
   open_.store(true);
   for (auto& nr : nodes_) {
-    std::lock_guard<std::mutex> lock(nr->mu);
-    nr->cv.notify_one();
+    const MutexLock lock(&nr->mu);
+    nr->cv.NotifyOne();
   }
 }
 
@@ -212,10 +216,10 @@ void ThreadTransport::Stop() {
   stopped_ = true;
   for (auto& nr : nodes_) {
     {
-      std::lock_guard<std::mutex> lock(nr->mu);
+      const MutexLock lock(&nr->mu);
       nr->stop = true;
     }
-    nr->cv.notify_one();
+    nr->cv.NotifyOne();
   }
   for (auto& nr : nodes_) {
     if (nr->thread.joinable()) nr->thread.join();
@@ -223,11 +227,13 @@ void ThreadTransport::Stop() {
 }
 
 void ThreadTransport::Worker(NodeRec* nr) {
-  std::unique_lock<std::mutex> lock(nr->mu);
+  // Manual Lock/Unlock for the same reason as ThreadScheduler::Run: the
+  // lock is dropped around every handler invocation.
+  nr->mu.Lock();
   // Start gate: nothing is consumed until the driver finishes wiring and
   // calls Open(). Taking nr->mu here is also the happens-before edge that
   // publishes all pre-Open driver writes to this thread.
-  nr->cv.wait(lock, [&]() { return open_.load() || nr->stop; });
+  while (!open_.load() && !nr->stop) nr->cv.Wait(&nr->mu);
 
   while (!nr->stop) {
     const double now_s = clock_->now();
@@ -237,16 +243,15 @@ void ThreadTransport::Worker(NodeRec* nr) {
     }
     if (nr->queue.empty()) {
       if (nr->timers.empty()) {
-        nr->cv.wait(lock);
+        nr->cv.Wait(&nr->mu);
       } else {
-        nr->cv.wait_for(lock, std::chrono::duration<double>(
-                                  nr->timers.begin()->first - now_s));
+        nr->cv.WaitFor(&nr->mu, nr->timers.begin()->first - now_s);
       }
       continue;
     }
     Entry entry = std::move(nr->queue.front());
     nr->queue.pop_front();
-    lock.unlock();
+    nr->mu.Unlock();
     if (entry.timer_fn) {
       entry.timer_fn();
     } else {
@@ -256,8 +261,9 @@ void ThreadTransport::Worker(NodeRec* nr) {
       }
       nr->node->OnMessage(entry.src, *entry.payload);
     }
-    lock.lock();
+    nr->mu.Lock();
   }
+  nr->mu.Unlock();
 }
 
 // --- ThreadSubstrate ---

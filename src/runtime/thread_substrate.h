@@ -3,15 +3,14 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "runtime/substrate.h"
 
 namespace tornado {
@@ -40,6 +39,11 @@ class WallClock final : public Clock {
 /// "no timer" sentinel), generation in the high 32, so a stale handle
 /// never cancels a reused slot. Callbacks run on the timer thread; they
 /// must be thread-safe or re-post onto a node's service queue.
+///
+/// Locking contract: mu_ guards the whole timer state — slab, free list,
+/// deadline queue, and the stop flag. The timer thread drops mu_ around
+/// each callback (so callbacks may schedule/cancel freely) and holds it
+/// everywhere else.
 class ThreadScheduler final : public Scheduler {
  public:
   explicit ThreadScheduler(const Clock* clock);
@@ -65,18 +69,19 @@ class ThreadScheduler final : public Scheduler {
     std::function<void()> fn;
   };
 
-  TimerId ArmLocked(double when, std::function<void()> fn);
-  bool DisarmLocked(TimerId id);
+  TimerId ArmLocked(double when, std::function<void()> fn) REQUIRES(mu_);
+  bool DisarmLocked(TimerId id) REQUIRES(mu_);
   void Run();
 
   const Clock* clock_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
-  std::vector<Slot> slots_;
-  std::vector<uint32_t> free_slots_;
-  std::multimap<double, Pending> queue_;  // keyed by absolute deadline
-  std::thread thread_;
+  Mutex mu_;
+  CondVar cv_;
+  bool stop_ GUARDED_BY(mu_) = false;
+  std::vector<Slot> slots_ GUARDED_BY(mu_);
+  std::vector<uint32_t> free_slots_ GUARDED_BY(mu_);
+  // Keyed by absolute deadline.
+  std::multimap<double, Pending> queue_ GUARDED_BY(mu_);
+  std::thread thread_;  // started in the ctor, joined by Stop()
 };
 
 /// In-process transport: one service thread per node draining an MPSC
@@ -118,7 +123,7 @@ class ThreadTransport final : public Transport {
   void Open();
 
   /// Stops and joins every node thread. Call before destroying any
-  /// registered Node. Idempotent.
+  /// registered Node. Idempotent; driver thread only.
   void Stop();
 
   /// Per-node RNG, seeded from the substrate's thread stream; only ever
@@ -131,28 +136,33 @@ class ThreadTransport final : public Transport {
     PayloadPtr payload;              // null for timer entries
     std::function<void()> timer_fn;  // set for timer entries
   };
+  // One node's mailbox. Everything the service thread shares with
+  // senders — the message queue, node-local timers, and the stop flag —
+  // sits below mu; node/host/rng are wired before the Open() gate and
+  // then only touched by the service thread itself.
   struct NodeRec {
     explicit NodeRec(uint64_t rng_seed) : rng(rng_seed) {}
     Node* node = nullptr;
     HostId host = 0;
     Rng rng;
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<Entry> queue;
-    std::multimap<double, Entry> timers;  // keyed by absolute deadline
-    bool stop = false;
-    std::thread thread;
+    Mutex mu;
+    CondVar cv;
+    std::deque<Entry> queue GUARDED_BY(mu);
+    // Keyed by absolute deadline.
+    std::multimap<double, Entry> timers GUARDED_BY(mu);
+    bool stop GUARDED_BY(mu) = false;
+    std::thread thread;  // started by RegisterNode, joined by Stop()
   };
 
   void Worker(NodeRec* nr);
 
   const Clock* clock_;
   MetricRegistry metrics_;
-  std::atomic<int64_t>* sent_counter_;
-  std::atomic<int64_t>* delivered_counter_;
+  metric::Counter* sent_counter_;
+  metric::Counter* delivered_counter_;
   std::atomic<TransportObserver*> observer_{nullptr};
   std::atomic<bool> open_{false};
-  bool stopped_ = false;
+  bool stopped_ = false;  // driver thread only (Stop/destructor)
   const SubstrateRng* rng_;
   std::vector<std::unique_ptr<NodeRec>> nodes_;
 };

@@ -5,6 +5,7 @@
 namespace tornado {
 
 Result<size_t> DurableStore::Open(const std::string& path) {
+  const MutexLock lock(&mu_);
   path_ = path;
   size_t recovered = 0;
   {
@@ -53,13 +54,14 @@ void DurableStore::Put(LoopId loop, VertexId vertex, Iteration iteration,
   store_.Put(loop, vertex, iteration, std::move(value));
 }
 
-Result<size_t> DurableStore::Flush(LoopId loop, Iteration iteration) {
+Result<size_t> DurableStore::FlushLocked(LoopId loop, Iteration iteration) {
   if (!log_.is_open()) {
     return Status::FailedPrecondition("durable store is not open");
   }
   // The guard spans the collect-then-append below: the VersionViews are
   // only valid while no other thread mutates the store (no-op guard in
-  // the default single-threaded mode).
+  // the default single-threaded mode). Lock order: mu_ is already held,
+  // the store guard nests inside it.
   const VersionedStore::Guard guard = store_.Lock();
   // Append every version that the new watermark covers and the old one did
   // not, in deterministic (vertex, iteration) order.
@@ -96,14 +98,15 @@ Result<size_t> DurableStore::Flush(LoopId loop, Iteration iteration) {
 }
 
 void DurableStore::ScheduleAutoFlush(Scheduler* scheduler, double period) {
-  StopAutoFlush();
+  const MutexLock lock(&mu_);
+  StopAutoFlushLocked();
   flush_scheduler_ = scheduler;
   flush_period_ = period;
   flush_timer_ =
       scheduler->ScheduleAfter(period, [this]() { AutoFlushTick(); });
 }
 
-void DurableStore::StopAutoFlush() {
+void DurableStore::StopAutoFlushLocked() {
   if (flush_scheduler_ != nullptr && flush_timer_ != 0) {
     flush_scheduler_->Cancel(flush_timer_);
   }
@@ -112,14 +115,21 @@ void DurableStore::StopAutoFlush() {
 }
 
 void DurableStore::AutoFlushTick() {
-  ++auto_flushes_;
+  {
+    const MutexLock lock(&mu_);
+    ++auto_flushes_;
+  }
   for (LoopId loop : CollectLoops()) {
     if (store_.DirtyVersions(loop) == 0) continue;
     // Flush to the newest version present; failures surface on the next
-    // explicit Flush/Close (the log keeps its error state).
+    // explicit Flush/Close (the log keeps its error state). The public
+    // Flush re-takes mu_ — it cannot be held across this call (Mutex is
+    // not recursive), and dropping it between ticks is what lets the
+    // driver Close() without waiting out a whole flush pass.
     (void)Flush(loop, kNoIteration - 1);
   }
-  if (flush_scheduler_ == nullptr) return;  // stopped from inside a tick
+  const MutexLock lock(&mu_);
+  if (flush_scheduler_ == nullptr) return;  // stopped while this tick ran
   flush_timer_ = flush_scheduler_->ScheduleAfter(flush_period_,
                                                  [this]() { AutoFlushTick(); });
 }

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "runtime/substrate.h"
 #include "storage/checkpoint_log.h"
 #include "storage/versioned_store.h"
@@ -16,6 +17,13 @@ namespace tornado {
 /// state backend for users embedding the library outside the simulated
 /// cluster; inside the simulation the flush cost model stands in for the
 /// physical I/O this class performs.
+///
+/// Thread story (docs/RUNTIME.md): with auto-flush armed on the thread
+/// substrate, flush traffic runs on the scheduler's timer thread while the
+/// driver may Open/Flush/Close concurrently. mu_ serializes the log and the
+/// timer state across those two threads; the store has its own lock
+/// (SetThreadSafe). Lock order: mu_, then the store guard — never the
+/// reverse.
 class DurableStore {
  public:
   DurableStore() = default;
@@ -32,7 +40,10 @@ class DurableStore {
   /// Makes all versions of `loop` up to `iteration` durable: appends the
   /// newly-covered versions to the log, then advances the watermark.
   /// Returns the number of versions persisted.
-  Result<size_t> Flush(LoopId loop, Iteration iteration);
+  Result<size_t> Flush(LoopId loop, Iteration iteration) {
+    const MutexLock lock(&mu_);
+    return FlushLocked(loop, iteration);
+  }
 
   /// Drops everything newer than the durable watermark (crash recovery of
   /// the in-memory state without re-reading the log).
@@ -43,36 +54,52 @@ class DurableStore {
   /// newest version, then re-arms. On the sim substrate the ticks run in
   /// virtual time; on the thread substrate they run on the timer thread —
   /// call store().SetThreadSafe(true) first if other threads Put
-  /// concurrently (the checkpoint log itself is only ever touched by
-  /// Open/Close and flush ticks, so it needs no extra locking).
-  /// Idempotent: re-arming replaces the previous schedule.
+  /// concurrently. Idempotent: re-arming replaces the previous schedule.
   void ScheduleAutoFlush(Scheduler* scheduler, double period);
 
   /// Cancels the periodic flush (no-op if none armed). Called by Close().
-  void StopAutoFlush();
+  /// A tick already past its cancellation point may still run once; it
+  /// serializes behind mu_ and sees the cleared schedule, so it neither
+  /// re-arms nor touches a closed log.
+  void StopAutoFlush() {
+    const MutexLock lock(&mu_);
+    StopAutoFlushLocked();
+  }
 
   /// Number of auto-flush ticks that have run (tests/observability).
-  uint64_t auto_flushes() const { return auto_flushes_; }
+  uint64_t auto_flushes() const {
+    const MutexLock lock(&mu_);
+    return auto_flushes_;
+  }
 
   VersionedStore& store() { return store_; }
   const VersionedStore& store() const { return store_; }
 
   Status Close() {
-    StopAutoFlush();
+    const MutexLock lock(&mu_);
+    StopAutoFlushLocked();
     return log_.Close();
   }
 
  private:
   std::vector<LoopId> CollectLoops() const;
   void AutoFlushTick();
+  void StopAutoFlushLocked() REQUIRES(mu_);
+  Result<size_t> FlushLocked(LoopId loop, Iteration iteration) REQUIRES(mu_);
 
-  VersionedStore store_;
-  CheckpointLog log_;
-  std::string path_;
-  Scheduler* flush_scheduler_ = nullptr;
-  TimerId flush_timer_ = 0;
-  double flush_period_ = 0.0;
-  uint64_t auto_flushes_ = 0;
+  VersionedStore store_;  // has its own lock; see SetThreadSafe
+  std::string path_;      // written once by Open(), before flush traffic
+
+  // Serializes driver calls (Open/Flush/Close/ScheduleAutoFlush) against
+  // auto-flush ticks running on the scheduler's timer thread. The
+  // unsynchronized sharing of the log and the timer/interval fields across
+  // those threads was a latent race before this lock existed.
+  mutable Mutex mu_;
+  CheckpointLog log_ GUARDED_BY(mu_);
+  Scheduler* flush_scheduler_ GUARDED_BY(mu_) = nullptr;
+  TimerId flush_timer_ GUARDED_BY(mu_) = 0;
+  double flush_period_ GUARDED_BY(mu_) = 0.0;
+  uint64_t auto_flushes_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace tornado

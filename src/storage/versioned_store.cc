@@ -15,15 +15,9 @@ bool CoveredBy(Iteration iter, Iteration watermark) {
 
 }  // namespace
 
-void VersionedStore::Put(LoopId loop, VertexId vertex, Iteration iteration,
-                         std::vector<uint8_t> value) {
-  PutBytes(loop, vertex, iteration, value.data(), value.size());
-}
-
-void VersionedStore::PutBytes(LoopId loop, VertexId vertex,
-                              Iteration iteration, const uint8_t* data,
-                              size_t size) {
-  const Guard guard = Lock();
+void VersionedStore::PutBytesLocked(LoopId loop, VertexId vertex,
+                                    Iteration iteration, const uint8_t* data,
+                                    size_t size) {
   LoopData& loop_data = loops_[loop];
   Chain& chain = loop_data.chains[vertex];
 
@@ -98,9 +92,8 @@ void VersionedStore::MaybeCompact(LoopData& data) {
   ++data.compactions;
 }
 
-VersionView VersionedStore::Get(LoopId loop, VertexId vertex,
-                                Iteration at) const {
-  const Guard guard = Lock();
+VersionView VersionedStore::GetLocked(LoopId loop, VertexId vertex,
+                                      Iteration at) const {
   auto loop_it = loops_.find(loop);
   if (loop_it == loops_.end()) return {};
   auto chain_it = loop_it->second.chains.find(vertex);
@@ -113,9 +106,9 @@ VersionView VersionedStore::Get(LoopId loop, VertexId vertex,
   return ViewOf(loop_it->second, *std::prev(it));
 }
 
-Iteration VersionedStore::GetVersionIteration(LoopId loop, VertexId vertex,
-                                              Iteration at) const {
-  const Guard guard = Lock();
+Iteration VersionedStore::GetVersionIterationLocked(LoopId loop,
+                                                    VertexId vertex,
+                                                    Iteration at) const {
   const Chain* chain = FindChain(loop, vertex);
   if (chain == nullptr || chain->entries.empty()) return kNoIteration;
   const auto& entries = chain->entries;
@@ -126,8 +119,8 @@ Iteration VersionedStore::GetVersionIteration(LoopId loop, VertexId vertex,
   return std::prev(it)->iteration;
 }
 
-VersionView VersionedStore::GetLatest(LoopId loop, VertexId vertex) const {
-  const Guard guard = Lock();
+VersionView VersionedStore::GetLatestLocked(LoopId loop,
+                                            VertexId vertex) const {
   auto loop_it = loops_.find(loop);
   if (loop_it == loops_.end()) return {};
   auto chain_it = loop_it->second.chains.find(vertex);
@@ -137,8 +130,7 @@ VersionView VersionedStore::GetLatest(LoopId loop, VertexId vertex) const {
   return ViewOf(loop_it->second, entries.back());
 }
 
-std::vector<VertexId> VersionedStore::VerticesOf(LoopId loop) const {
-  const Guard guard = Lock();
+std::vector<VertexId> VersionedStore::VerticesOfLocked(LoopId loop) const {
   std::vector<VertexId> out;
   auto it = loops_.find(loop);
   if (it == loops_.end()) return out;
@@ -152,9 +144,8 @@ std::vector<VertexId> VersionedStore::VerticesOf(LoopId loop) const {
   return out;
 }
 
-std::vector<VertexId> VersionedStore::VerticesWithVersionAt(
+std::vector<VertexId> VersionedStore::VerticesWithVersionAtLocked(
     LoopId loop, Iteration iteration) const {
-  const Guard guard = Lock();
   std::vector<VertexId> out;
   auto it = loops_.find(loop);
   if (it == loops_.end()) return out;
@@ -171,14 +162,12 @@ std::vector<VertexId> VersionedStore::VerticesWithVersionAt(
   return out;
 }
 
-size_t VersionedStore::VersionCount(LoopId loop, VertexId vertex) const {
-  const Guard guard = Lock();
+size_t VersionedStore::VersionCountLocked(LoopId loop, VertexId vertex) const {
   const Chain* chain = FindChain(loop, vertex);
   return chain == nullptr ? 0 : chain->entries.size();
 }
 
-size_t VersionedStore::Flush(LoopId loop, Iteration iteration) {
-  const Guard guard = Lock();
+size_t VersionedStore::FlushLocked(LoopId loop, Iteration iteration) {
   auto it = loops_.find(loop);
   if (it == loops_.end()) return 0;
   LoopData& data = it->second;
@@ -197,20 +186,17 @@ size_t VersionedStore::Flush(LoopId loop, Iteration iteration) {
   return flushed;
 }
 
-size_t VersionedStore::DirtyVersions(LoopId loop) const {
-  const Guard guard = Lock();
+size_t VersionedStore::DirtyVersionsLocked(LoopId loop) const {
   auto it = loops_.find(loop);
   return it == loops_.end() ? 0 : it->second.dirty;
 }
 
-Iteration VersionedStore::DurableIteration(LoopId loop) const {
-  const Guard guard = Lock();
+Iteration VersionedStore::DurableIterationLocked(LoopId loop) const {
   auto it = loops_.find(loop);
   return it == loops_.end() ? kNoIteration : it->second.durable;
 }
 
-void VersionedStore::TruncateAfter(LoopId loop, Iteration iteration) {
-  const Guard guard = Lock();
+void VersionedStore::TruncateAfterLocked(LoopId loop, Iteration iteration) {
   auto it = loops_.find(loop);
   if (it == loops_.end()) return;
   LoopData& data = it->second;
@@ -234,8 +220,7 @@ void VersionedStore::TruncateAfter(LoopId loop, Iteration iteration) {
   MaybeCompact(data);
 }
 
-size_t VersionedStore::PruneBelow(LoopId loop, Iteration iteration) {
-  const Guard guard = Lock();
+size_t VersionedStore::PruneBelowLocked(LoopId loop, Iteration iteration) {
   auto it = loops_.find(loop);
   if (it == loops_.end()) return 0;
   LoopData& data = it->second;
@@ -261,8 +246,7 @@ size_t VersionedStore::PruneBelow(LoopId loop, Iteration iteration) {
   return removed;
 }
 
-void VersionedStore::RecoverToDurable(LoopId loop) {
-  const Guard guard = Lock();
+void VersionedStore::RecoverToDurableLocked(LoopId loop) {
   auto it = loops_.find(loop);
   if (it == loops_.end()) return;
   const Iteration watermark = it->second.durable;
@@ -270,16 +254,13 @@ void VersionedStore::RecoverToDurable(LoopId loop) {
     loops_.erase(it);
     return;
   }
-  TruncateAfter(loop, watermark);
+  TruncateAfterLocked(loop, watermark);
 }
 
-void VersionedStore::DropLoop(LoopId loop) {
-  const Guard guard = Lock();
-  loops_.erase(loop);
-}
+void VersionedStore::DropLoopLocked(LoopId loop) { loops_.erase(loop); }
 
-size_t VersionedStore::ForkLoop(LoopId src, Iteration iteration, LoopId dst) {
-  const Guard guard = Lock();
+size_t VersionedStore::ForkLoopLocked(LoopId src, Iteration iteration,
+                                      LoopId dst) {
   auto src_it = loops_.find(src);
   if (src_it == loops_.end()) return 0;
   TCHECK_NE(src, dst);
@@ -297,14 +278,13 @@ size_t VersionedStore::ForkLoop(LoopId src, Iteration iteration, LoopId dst) {
     snapshot.emplace_back(vertex, ViewOf(src_it->second, *std::prev(v)));
   }
   for (const auto& [vertex, view] : snapshot) {
-    PutBytes(dst, vertex, 0, view.data(), view.size());
+    PutBytesLocked(dst, vertex, 0, view.data(), view.size());
   }
   return snapshot.size();
 }
 
-size_t VersionedStore::MergeLoop(LoopId src, LoopId dst,
-                                 Iteration dst_iteration) {
-  const Guard guard = Lock();
+size_t VersionedStore::MergeLoopLocked(LoopId src, LoopId dst,
+                                       Iteration dst_iteration) {
   auto src_it = loops_.find(src);
   if (src_it == loops_.end()) return 0;
   TCHECK_NE(src, dst);
@@ -315,13 +295,12 @@ size_t VersionedStore::MergeLoop(LoopId src, LoopId dst,
     latest.emplace_back(vertex, ViewOf(src_it->second, chain.entries.back()));
   }
   for (const auto& [vertex, view] : latest) {
-    PutBytes(dst, vertex, dst_iteration, view.data(), view.size());
+    PutBytesLocked(dst, vertex, dst_iteration, view.data(), view.size());
   }
   return latest.size();
 }
 
-size_t VersionedStore::TotalVersions() const {
-  const Guard guard = Lock();
+size_t VersionedStore::TotalVersionsLocked() const {
   size_t n = 0;
   for (const auto& [loop, data] : loops_) {
     for (const auto& [vertex, chain] : data.chains) n += chain.entries.size();
@@ -329,21 +308,18 @@ size_t VersionedStore::TotalVersions() const {
   return n;
 }
 
-size_t VersionedStore::TotalBytes() const {
-  const Guard guard = Lock();
+size_t VersionedStore::TotalBytesLocked() const {
   size_t n = 0;
   for (const auto& [loop, data] : loops_) n += data.live_bytes;
   return n;
 }
 
-size_t VersionedStore::ArenaBytes(LoopId loop) const {
-  const Guard guard = Lock();
+size_t VersionedStore::ArenaBytesLocked(LoopId loop) const {
   auto it = loops_.find(loop);
   return it == loops_.end() ? 0 : it->second.arena.size();
 }
 
-uint64_t VersionedStore::ArenaCompactions(LoopId loop) const {
-  const Guard guard = Lock();
+uint64_t VersionedStore::ArenaCompactionsLocked(LoopId loop) const {
   auto it = loops_.find(loop);
   return it == loops_.end() ? 0 : it->second.compactions;
 }

@@ -2,10 +2,10 @@
 #define TORNADO_STORAGE_VERSIONED_STORE_H_
 
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "common/types.h"
 
@@ -63,27 +63,40 @@ class VersionView {
 /// into the arena (no map nodes, no per-version vector allocations).
 /// Pruning and truncation leave garbage bytes behind; the arena compacts
 /// itself once garbage exceeds the live volume.
+///
+/// Locking contract (docs/RUNTIME.md): every public method is a thin
+/// wrapper that takes the store Guard and calls a private *Locked impl
+/// annotated REQUIRES(mu_), so the clang thread-safety analysis proves no
+/// chain/arena state is touched without the capability. At runtime the
+/// Guard only physically locks in thread-safe mode; the static story
+/// ("mu_ is always held inside the store") over-approximates the
+/// single-threaded mode, which is sound.
 class VersionedStore {
  public:
   /// RAII lock over the whole store; a no-op unless SetThreadSafe(true)
   /// was called. The underlying mutex is recursive, so holding a Guard
   /// across a compound sequence (Get + deserialize, read-then-write)
-  /// nests fine with the per-method locking.
-  class Guard {
+  /// nests fine with the per-method locking. Obtained via Lock() only —
+  /// the factory's ACQUIRE annotation is what binds the scoped
+  /// capability to mu_ for the analysis.
+  class SCOPED_CAPABILITY Guard {
    public:
-    explicit Guard(std::recursive_mutex* mu) : mu_(mu) {
-      if (mu_ != nullptr) mu_->lock();
+    ~Guard() RELEASE() NO_THREAD_SAFETY_ANALYSIS {
+      if (mu_ != nullptr) mu_->Unlock();
     }
-    ~Guard() {
-      if (mu_ != nullptr) mu_->unlock();
-    }
-    Guard(Guard&& other) noexcept : mu_(other.mu_) { other.mu_ = nullptr; }
     Guard(const Guard&) = delete;
+    Guard(Guard&&) = delete;  // prvalue returns elide; no move needed
     Guard& operator=(const Guard&) = delete;
     Guard& operator=(Guard&&) = delete;
 
    private:
-    std::recursive_mutex* mu_;
+    friend class VersionedStore;
+    explicit Guard(RecursiveMutex* mu) ACQUIRE(mu) NO_THREAD_SAFETY_ANALYSIS
+        : mu_(mu) {
+      if (mu_ != nullptr) mu_->Lock();
+    }
+
+    RecursiveMutex* mu_;
   };
 
   /// Thread-safe mode (thread substrate): every public method locks for
@@ -95,83 +108,151 @@ class VersionedStore {
   /// pays only a null-check per call).
   void SetThreadSafe(bool on) { thread_safe_ = on; }
 
-  /// Acquires the store lock (no-op guard when thread-safe mode is off).
-  Guard Lock() const { return Guard(thread_safe_ ? &mu_ : nullptr); }
+  /// Acquires the store lock (no-op guard when thread-safe mode is off:
+  /// the one place the runtime story is conditional, hence the analysis
+  /// escape on the body — callers and everything below the Guard are
+  /// still fully checked).
+  Guard Lock() const ACQUIRE(mu_) NO_THREAD_SAFETY_ANALYSIS {
+    return Guard(thread_safe_ ? &mu_ : nullptr);
+  }
 
   /// Appends (or overwrites) the version of `vertex` at `iteration`.
   void Put(LoopId loop, VertexId vertex, Iteration iteration,
-           std::vector<uint8_t> value);
+           std::vector<uint8_t> value) {
+    const Guard guard = Lock();
+    PutBytesLocked(loop, vertex, iteration, value.data(), value.size());
+  }
 
   /// Same, from a borrowed byte range (no intermediate vector). `data` must
   /// not alias this store's own arenas unless the loops differ.
   void PutBytes(LoopId loop, VertexId vertex, Iteration iteration,
-                const uint8_t* data, size_t size);
+                const uint8_t* data, size_t size) {
+    const Guard guard = Lock();
+    PutBytesLocked(loop, vertex, iteration, data, size);
+  }
 
   /// Latest version with iteration <= `at`, or an absent view if none.
-  VersionView Get(LoopId loop, VertexId vertex, Iteration at) const;
+  VersionView Get(LoopId loop, VertexId vertex, Iteration at) const {
+    const Guard guard = Lock();
+    return GetLocked(loop, vertex, at);
+  }
 
   /// Iteration of the version returned by Get, or kNoIteration.
   Iteration GetVersionIteration(LoopId loop, VertexId vertex,
-                                Iteration at) const;
+                                Iteration at) const {
+    const Guard guard = Lock();
+    return GetVersionIterationLocked(loop, vertex, at);
+  }
 
   /// Latest version regardless of iteration, or an absent view.
-  VersionView GetLatest(LoopId loop, VertexId vertex) const;
+  VersionView GetLatest(LoopId loop, VertexId vertex) const {
+    const Guard guard = Lock();
+    return GetLatestLocked(loop, vertex);
+  }
 
   /// All vertices that have at least one version in `loop`.
-  std::vector<VertexId> VerticesOf(LoopId loop) const;
+  std::vector<VertexId> VerticesOf(LoopId loop) const {
+    const Guard guard = Lock();
+    return VerticesOfLocked(loop);
+  }
 
   /// All vertices that have a version at exactly `iteration` (used by
   /// processors to adopt branch results merged at tau + B).
   std::vector<VertexId> VerticesWithVersionAt(LoopId loop,
-                                              Iteration iteration) const;
+                                              Iteration iteration) const {
+    const Guard guard = Lock();
+    return VerticesWithVersionAtLocked(loop, iteration);
+  }
 
   /// Number of versions of `vertex` in `loop`.
-  size_t VersionCount(LoopId loop, VertexId vertex) const;
+  size_t VersionCount(LoopId loop, VertexId vertex) const {
+    const Guard guard = Lock();
+    return VersionCountLocked(loop, vertex);
+  }
 
   /// Marks all versions of `loop` with iteration <= `iteration` durable and
   /// returns how many versions became durable by this call (the flush cost
   /// is proportional to it).
-  size_t Flush(LoopId loop, Iteration iteration);
+  size_t Flush(LoopId loop, Iteration iteration) {
+    const Guard guard = Lock();
+    return FlushLocked(loop, iteration);
+  }
 
   /// Number of versions written after the durable watermark (pending I/O).
-  size_t DirtyVersions(LoopId loop) const;
+  size_t DirtyVersions(LoopId loop) const {
+    const Guard guard = Lock();
+    return DirtyVersionsLocked(loop);
+  }
 
   /// Durable watermark of `loop` (kNoIteration if never flushed).
-  Iteration DurableIteration(LoopId loop) const;
+  Iteration DurableIteration(LoopId loop) const {
+    const Guard guard = Lock();
+    return DurableIterationLocked(loop);
+  }
 
   /// Drops all versions newer than `iteration` (global rollback used when
   /// the computation restarts from the last terminated iteration).
-  void TruncateAfter(LoopId loop, Iteration iteration);
+  void TruncateAfter(LoopId loop, Iteration iteration) {
+    const Guard guard = Lock();
+    TruncateAfterLocked(loop, iteration);
+  }
 
   /// Garbage-collects history: for every chain, drops versions older than
   /// the newest version at or below `iteration` (which is kept — it is the
   /// snapshot fork point). Returns the number of versions removed. The
   /// master prunes below the last terminated iteration; nothing older can
   /// be forked or rolled back to.
-  size_t PruneBelow(LoopId loop, Iteration iteration);
+  size_t PruneBelow(LoopId loop, Iteration iteration) {
+    const Guard guard = Lock();
+    return PruneBelowLocked(loop, iteration);
+  }
 
   /// Drops everything newer than the durable watermark.
-  void RecoverToDurable(LoopId loop);
+  void RecoverToDurable(LoopId loop) {
+    const Guard guard = Lock();
+    RecoverToDurableLocked(loop);
+  }
 
   /// Removes a finished branch loop's data.
-  void DropLoop(LoopId loop);
+  void DropLoop(LoopId loop) {
+    const Guard guard = Lock();
+    DropLoopLocked(loop);
+  }
 
   /// Copies the snapshot of `src` at `iteration` into `dst` as its
   /// iteration-0 baseline (branch-loop fork). Returns #vertices copied.
-  size_t ForkLoop(LoopId src, Iteration iteration, LoopId dst);
+  size_t ForkLoop(LoopId src, Iteration iteration, LoopId dst) {
+    const Guard guard = Lock();
+    return ForkLoopLocked(src, iteration, dst);
+  }
 
   /// Copies every vertex's latest version of `src` into `dst_iteration` of
   /// `dst` (merging converged branch results back into the main loop at
   /// iteration τ+B, Section 5.2). Returns #vertices merged.
-  size_t MergeLoop(LoopId src, LoopId dst, Iteration dst_iteration);
+  size_t MergeLoop(LoopId src, LoopId dst, Iteration dst_iteration) {
+    const Guard guard = Lock();
+    return MergeLoopLocked(src, dst, dst_iteration);
+  }
 
-  size_t TotalVersions() const;
-  size_t TotalBytes() const;
+  size_t TotalVersions() const {
+    const Guard guard = Lock();
+    return TotalVersionsLocked();
+  }
+  size_t TotalBytes() const {
+    const Guard guard = Lock();
+    return TotalBytesLocked();
+  }
 
   /// Arena introspection for tests: physical arena bytes (live + garbage)
   /// of `loop`, and how many compactions it has run.
-  size_t ArenaBytes(LoopId loop) const;
-  uint64_t ArenaCompactions(LoopId loop) const;
+  size_t ArenaBytes(LoopId loop) const {
+    const Guard guard = Lock();
+    return ArenaBytesLocked(loop);
+  }
+  uint64_t ArenaCompactions(LoopId loop) const {
+    const Guard guard = Lock();
+    return ArenaCompactionsLocked(loop);
+  }
 
  private:
   // 16 bytes per version; chains stay iteration-sorted (commits arrive in
@@ -193,14 +274,51 @@ class VersionedStore {
     size_t dirty = 0;
   };
 
-  const Chain* FindChain(LoopId loop, VertexId vertex) const;
+  // The *Locked bodies (versioned_store.cc). Internal calls go through
+  // these directly — the public wrappers exist so the recursion the old
+  // per-method locking relied on is no longer needed (or visible to the
+  // analysis).
+  void PutBytesLocked(LoopId loop, VertexId vertex, Iteration iteration,
+                      const uint8_t* data, size_t size) REQUIRES(mu_);
+  VersionView GetLocked(LoopId loop, VertexId vertex, Iteration at) const
+      REQUIRES(mu_);
+  Iteration GetVersionIterationLocked(LoopId loop, VertexId vertex,
+                                      Iteration at) const REQUIRES(mu_);
+  VersionView GetLatestLocked(LoopId loop, VertexId vertex) const
+      REQUIRES(mu_);
+  std::vector<VertexId> VerticesOfLocked(LoopId loop) const REQUIRES(mu_);
+  std::vector<VertexId> VerticesWithVersionAtLocked(LoopId loop,
+                                                    Iteration iteration) const
+      REQUIRES(mu_);
+  size_t VersionCountLocked(LoopId loop, VertexId vertex) const
+      REQUIRES(mu_);
+  size_t FlushLocked(LoopId loop, Iteration iteration) REQUIRES(mu_);
+  size_t DirtyVersionsLocked(LoopId loop) const REQUIRES(mu_);
+  Iteration DurableIterationLocked(LoopId loop) const REQUIRES(mu_);
+  void TruncateAfterLocked(LoopId loop, Iteration iteration) REQUIRES(mu_);
+  size_t PruneBelowLocked(LoopId loop, Iteration iteration) REQUIRES(mu_);
+  void RecoverToDurableLocked(LoopId loop) REQUIRES(mu_);
+  void DropLoopLocked(LoopId loop) REQUIRES(mu_);
+  size_t ForkLoopLocked(LoopId src, Iteration iteration, LoopId dst)
+      REQUIRES(mu_);
+  size_t MergeLoopLocked(LoopId src, LoopId dst, Iteration dst_iteration)
+      REQUIRES(mu_);
+  size_t TotalVersionsLocked() const REQUIRES(mu_);
+  size_t TotalBytesLocked() const REQUIRES(mu_);
+  size_t ArenaBytesLocked(LoopId loop) const REQUIRES(mu_);
+  uint64_t ArenaCompactionsLocked(LoopId loop) const REQUIRES(mu_);
+
+  const Chain* FindChain(LoopId loop, VertexId vertex) const REQUIRES(mu_);
   VersionView ViewOf(const LoopData& data, const VersionEntry& entry) const;
   void ReleaseEntry(LoopData& data, const VersionEntry& entry);
   void MaybeCompact(LoopData& data);
 
-  std::unordered_map<LoopId, LoopData> loops_;
+  // Driver-set before any concurrent access (SetThreadSafe), then read
+  // by every Lock(); not guarded by design — flipping it mid-run is
+  // outside the contract.
   bool thread_safe_ = false;
-  mutable std::recursive_mutex mu_;
+  mutable RecursiveMutex mu_;
+  std::unordered_map<LoopId, LoopData> loops_ GUARDED_BY(mu_);
 };
 
 }  // namespace tornado

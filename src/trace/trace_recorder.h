@@ -28,6 +28,15 @@ namespace tornado {
 /// accumulate events — TornadoCluster::EnableTracing() resumes it.
 /// A hard cap bounds memory on long runs; overflow events are counted,
 /// not silently lost.
+///
+/// Threading: NOT thread-safe, by design — the recorder is only attached
+/// on the sim backend, where every record call comes from the single
+/// simulation thread. It is deliberately left out of the locking contract
+/// (docs/RUNTIME.md) rather than given a mutex: a lock here would
+/// serialize node threads through the hottest observer path, and the
+/// thread backend has no deterministic virtual clock to stamp events
+/// with anyway. TornadoCluster::EnableTracing() enforces this: on the
+/// thread backend it warns and returns nullptr instead of attaching.
 class TraceRecorder {
  public:
   static constexpr size_t kDefaultMaxEvents = 500000;

@@ -23,8 +23,10 @@ CheckObserver Recorder(const VersionedStore* store = nullptr) {
 }
 
 bool Tripped(const CheckObserver& checker, const std::string& invariant) {
-  return std::any_of(checker.violations().begin(),
-                     checker.violations().end(),
+  // One snapshot: violations() returns by value, so begin()/end() must
+  // come from the same call.
+  const std::vector<CheckViolation> violations = checker.violations();
+  return std::any_of(violations.begin(), violations.end(),
                      [&](const CheckViolation& v) {
                        return v.invariant == invariant;
                      });

@@ -1,0 +1,26 @@
+// Fixture: CON-001 (raw synchronization primitives above the seam).
+// Never compiled, only scanned.
+#include <mutex>
+#include <thread>
+
+namespace fixture {
+
+class RawLocked {
+ public:
+  void Touch() {
+    std::lock_guard<std::mutex> lock(mu_);  // fires (twice: guard + mutex)
+    ++n_;
+  }
+
+ private:
+  std::mutex mu_;  // fires
+  int n_ = 0;
+};
+
+void SuppressedPrimitive() {
+  // NOLINTNEXTLINE(CON-001): fixture exercising the suppression path.
+  std::mutex local;
+  (void)local;
+}
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Fixture: CON-002 (mutex-holding class with unguarded members). The
+// local Mutex type and annotation macro mimic common/mutex.h — the file
+// is never compiled, only scanned.
+namespace fixture {
+
+#define GUARDED_BY(x)
+
+class Mutex {};
+
+class Counters {
+ public:
+  void Inc();
+
+ private:
+  Mutex mu_;
+  long long good_ GUARDED_BY(mu_);
+  long long bad_;  // fires: declared after mu_ without GUARDED_BY
+  // NOLINTNEXTLINE(CON-002): fixture exercising the suppression path.
+  long long tolerated_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// Fixture: CON-003 (detached threads / raw sleeps outside the
+// substrate). Never compiled, only scanned. Worker stands in for any
+// thread-like handle — the rule keys on the detach() member call, not
+// the type.
+#include <chrono>
+#include <thread>
+
+namespace fixture {
+
+struct Worker {
+  void detach();
+};
+
+void FireAndForget(Worker& w) {
+  w.detach();  // fires
+}
+
+void NapBetweenPolls() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));  // fires
+}
+
+void SuppressedNap() {
+  // NOLINTNEXTLINE(CON-003): fixture exercising the suppression path.
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+
+}  // namespace fixture

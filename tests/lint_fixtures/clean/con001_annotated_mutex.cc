@@ -1,0 +1,31 @@
+// Fixture: the CON-001-clean way to lock — the annotated wrappers from
+// common/mutex.h (mimicked locally; the file is never compiled, only
+// scanned). No std:: primitive is named, so nothing fires.
+namespace fixture {
+
+#define GUARDED_BY(x)
+
+class Mutex {
+ public:
+  void Lock();
+  void Unlock();
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu);
+};
+
+class Guarded {
+ public:
+  void Inc() {
+    const MutexLock lock(&mu_);
+    ++n_;
+  }
+
+ private:
+  Mutex mu_;
+  long long n_ GUARDED_BY(mu_);
+};
+
+}  // namespace fixture

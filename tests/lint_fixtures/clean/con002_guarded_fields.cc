@@ -1,0 +1,18 @@
+// Fixture: a mutex-holding class with every member after the mutex
+// annotated (or legitimately exempt). Never compiled, only scanned.
+namespace fixture {
+
+#define GUARDED_BY(x)
+#define PT_GUARDED_BY(x)
+
+class Mutex {};
+
+class Sessions {
+ private:
+  const int capacity_ = 8;  // immutable, and declared above the mutex
+  Mutex mu_;
+  long long opened_ GUARDED_BY(mu_);
+  long long* latest_ PT_GUARDED_BY(mu_);
+};
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// Fixture: the CON-003-clean shape — timed work goes through the
+// substrate scheduler, and thread handles are joined at shutdown, never
+// detached. Never compiled, only scanned.
+namespace fixture {
+
+struct Scheduler {
+  void ScheduleAfter(double delay, void (*fn)());
+};
+
+struct Worker {
+  void join();
+};
+
+void Poll(Scheduler* sched, void (*tick)()) {
+  sched->ScheduleAfter(0.010, tick);
+}
+
+void Shutdown(Worker& w) { w.join(); }
+
+}  // namespace fixture

@@ -10,6 +10,7 @@
 
 #include <array>
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include "tests/test_util.h"
@@ -66,7 +67,8 @@ TEST(LintTest, EveryRuleFiresOnItsFixture) {
   const LintRun run = RunLint("--json " + Fixtures());
   ASSERT_EQ(run.exit_code, 1) << run.output;
   for (const char* rule :
-       {"DET-001", "DET-002", "DET-003", "DET-004", "SER-001", "RUN-001"}) {
+       {"DET-001", "DET-002", "DET-003", "DET-004", "SER-001", "RUN-001",
+        "CON-001", "CON-002", "CON-003"}) {
     EXPECT_GE(CountFindings(run.output, rule, /*suppressed=*/false), 1)
         << rule << " did not fire:\n" << run.output;
   }
@@ -75,13 +77,66 @@ TEST(LintTest, EveryRuleFiresOnItsFixture) {
 TEST(LintTest, NolintWithReasonSuppresses) {
   const LintRun run = RunLint("--json " + Fixtures());
   ASSERT_EQ(run.exit_code, 1) << run.output;
-  for (const char* rule : {"DET-001", "DET-002", "DET-003", "DET-004", "RUN-001"}) {
+  for (const char* rule : {"DET-001", "DET-002", "DET-003", "DET-004",
+                           "RUN-001", "CON-001", "CON-002", "CON-003"}) {
     EXPECT_GE(CountFindings(run.output, rule, /*suppressed=*/true), 1)
         << rule << " suppression fixture not honored:\n" << run.output;
   }
   EXPECT_NE(run.output.find("fixture exercising the suppression path"),
             std::string::npos)
       << "suppression reasons must be carried into the report";
+}
+
+// Each CON bad fixture must trigger exactly its own rule — a fixture
+// that trips a neighboring rule would make the per-rule counts above
+// meaningless.
+TEST(LintTest, ConFixturesAreRulePure) {
+  const struct {
+    const char* file;
+    const char* rule;
+  } kCases[] = {
+      {"bad/con001_raw_mutex.cc", "CON-001"},
+      {"bad/con002_unannotated_field.cc", "CON-002"},
+      {"bad/con003_detach.cc", "CON-003"},
+  };
+  for (const auto& c : kCases) {
+    const LintRun run = RunLint("--json " + Fixtures(c.file));
+    EXPECT_EQ(run.exit_code, 1) << c.file << ":\n" << run.output;
+    EXPECT_GE(CountFindings(run.output, c.rule, /*suppressed=*/false), 1)
+        << c.file << ":\n" << run.output;
+    for (const char* other : {"DET-001", "DET-002", "DET-003", "DET-004",
+                              "SER-001", "RUN-001", "CON-001", "CON-002",
+                              "CON-003"}) {
+      if (std::string(other) == c.rule) continue;
+      EXPECT_EQ(CountFindings(run.output, other, /*suppressed=*/false), 0)
+          << c.file << " unexpectedly fired " << other << ":\n"
+          << run.output;
+    }
+  }
+}
+
+// std::atomic sightings are warnings: reported in the output, but they
+// do not gate (exit 0 when the only findings are warnings).
+TEST(LintTest, AtomicIsAWarningAndDoesNotGate) {
+  const std::string path = ::testing::TempDir() + "lint_atomic_fixture.cc";
+  {
+    std::ofstream out(path);
+    out << "namespace fixture {\n"
+        << "struct Progress {\n"
+        << "  std::atomic<long long> emitted{0};\n"
+        << "};\n"
+        << "}  // namespace fixture\n";
+  }
+  const LintRun run = RunLint("--json " + path);
+  std::remove(path.c_str());
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_GE(CountFindings(run.output, "CON-001", /*suppressed=*/false), 1)
+      << run.output;
+  EXPECT_NE(run.output.find("\"severity\": \"warning\""), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("\"unsuppressed_errors\": 0"),
+            std::string::npos)
+      << run.output;
 }
 
 TEST(LintTest, NolintWithoutReasonDoesNotSuppress) {
@@ -116,6 +171,41 @@ TEST(LintTest, FixHintsNameTheRemedy) {
   ASSERT_EQ(run.exit_code, 1) << run.output;
   EXPECT_NE(run.output.find("hint: "), std::string::npos) << run.output;
   EXPECT_NE(run.output.find("common/ordered.h"), std::string::npos)
+      << run.output;
+}
+
+// --fix-hints also prints the paste-ready escape hatch, per rule.
+TEST(LintTest, FixHintsPrintTheSuppressionSyntax) {
+  const LintRun run = RunLint("--fix-hints " + Fixtures("bad"));
+  ASSERT_EQ(run.exit_code, 1) << run.output;
+  for (const char* rule : {"CON-001", "CON-002", "CON-003"}) {
+    EXPECT_NE(run.output.find("suppress: // NOLINT(" + std::string(rule) +
+                              "): <why this is safe>"),
+              std::string::npos)
+        << rule << ":\n" << run.output;
+  }
+}
+
+// The SARIF output must carry the rule table and one result per
+// unsuppressed finding, in the 2.1.0 shape CI uploads as an artifact.
+TEST(LintTest, SarifOutputHasRulesAndResults) {
+  const LintRun run = RunLint("--sarif " + Fixtures("bad"));
+  ASSERT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("\"version\": \"2.1.0\""), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("\"name\": \"tornado_lint\""), std::string::npos)
+      << run.output;
+  for (const char* rule : {"DET-001", "CON-001", "CON-002", "CON-003"}) {
+    EXPECT_NE(run.output.find("{\"id\": \"" + std::string(rule) + "\""),
+              std::string::npos)
+        << rule << " missing from driver.rules:\n" << run.output;
+    EXPECT_NE(run.output.find("{\"ruleId\": \"" + std::string(rule) + "\""),
+              std::string::npos)
+        << rule << " missing from results:\n" << run.output;
+  }
+  // Suppressed findings stay out of the artifact.
+  EXPECT_EQ(run.output.find("fixture exercising the suppression path"),
+            std::string::npos)
       << run.output;
 }
 

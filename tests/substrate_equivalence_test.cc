@@ -6,15 +6,19 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "algos/pagerank.h"
 #include "check/invariant_checker.h"
 #include "core/cluster.h"
+#include "runtime/thread_substrate.h"
 #include "stream/graph_stream.h"
 #include "trace/trace_recorder.h"
 
@@ -132,6 +136,103 @@ TEST(SubstrateEquivalenceTest, ThreadBackendReachesSimFixedPoint) {
     max_delta = std::max(max_delta, std::fabs(rank - it->second));
   }
   EXPECT_LE(max_delta, 1e-9) << "backends diverged by " << max_delta;
+}
+
+// --- Mailbox contention --------------------------------------------------
+//
+// Many node threads hammering a single target mailbox is the thread
+// backend's worst case for the per-node Mutex in ThreadTransport::NodeRec.
+// This test exists to run under the thread-substrate TSan CI job: any
+// unguarded access on the mailbox path (enqueue vs. drain vs. depth
+// probes) shows up as a data race here.
+
+struct PingMsg final : Payload {
+  const char* name() const override { return "ping"; }
+};
+
+class SinkNode final : public Node {
+ public:
+  void OnMessage(NodeId /*src*/, const Payload& /*msg*/) override {
+    received_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  int64_t received() const {
+    return received_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> received_{0};
+};
+
+// Sends `bursts` batches of `per_burst` messages at the sink, yielding
+// back to its own mailbox between batches so deliveries from all hammers
+// interleave rather than serialize.
+class HammerNode final : public Node {
+ public:
+  HammerNode(NodeId sink, int bursts, int per_burst)
+      : sink_(sink), bursts_left_(bursts), per_burst_(per_burst) {}
+
+  void OnMessage(NodeId /*src*/, const Payload& /*msg*/) override {}
+
+  void Kick() {
+    ScheduleSelf(0.0, [this] { Burst(); });
+  }
+
+ private:
+  void Burst() {
+    for (int i = 0; i < per_burst_; ++i) {
+      Send(sink_, std::make_shared<PingMsg>(), /*reliable=*/true);
+    }
+    if (--bursts_left_ > 0) ScheduleSelf(0.0, [this] { Burst(); });
+  }
+
+  const NodeId sink_;
+  int bursts_left_;  // touched only on this node's service thread
+  const int per_burst_;
+};
+
+TEST(SubstrateEquivalenceTest, ThreadMailboxContentionDrainsClean) {
+  constexpr int kHammers = 16;
+  constexpr int kBursts = 20;
+  constexpr int kPerBurst = 25;
+  constexpr int64_t kExpected =
+      static_cast<int64_t>(kHammers) * kBursts * kPerBurst;
+
+  // Nodes are declared before the substrate so the substrate's
+  // destructor (which joins the service threads) runs first on any
+  // early-exit path.
+  SinkNode sink;
+  std::vector<std::unique_ptr<HammerNode>> hammers;
+  for (int i = 0; i < kHammers; ++i) {
+    hammers.push_back(
+        std::make_unique<HammerNode>(/*sink=*/0, kBursts, kPerBurst));
+  }
+
+  ThreadSubstrate substrate(/*base_seed=*/7);
+  substrate.thread_transport()->RegisterNode(&sink, /*host=*/0,
+                                             /*speed_factor=*/1.0);
+  ASSERT_EQ(sink.id(), 0u);
+  for (auto& hammer : hammers) {
+    substrate.thread_transport()->RegisterNode(hammer.get(), /*host=*/1,
+                                               /*speed_factor=*/1.0);
+    hammer->Kick();  // queued behind the start gate until Start()
+  }
+
+  substrate.Start();
+  const bool drained = substrate.RunUntil(
+      [&] {
+        return sink.received() == kExpected &&
+               substrate.thread_transport()->InFlightCount() == 0;
+      },
+      /*timeout=*/120.0, /*check_every=*/0.001);
+  EXPECT_TRUE(drained) << "delivered " << sink.received() << " of "
+                       << kExpected << ", in flight "
+                       << substrate.thread_transport()->InFlightCount();
+  substrate.Shutdown();
+
+  EXPECT_EQ(sink.received(), kExpected);
+  EXPECT_EQ(substrate.thread_transport()->InFlightCount(), 0u);
+  EXPECT_EQ(substrate.thread_transport()->InboxDepth(0), 0u);
 }
 
 }  // namespace

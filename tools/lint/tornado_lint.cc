@@ -21,14 +21,29 @@
 //            net/network.h) outside the substrate layer itself
 //            (src/sim/, src/net/, src/runtime/sim_*) — everything else
 //            must program against runtime/substrate.h
+//   CON-001  raw std:: synchronization primitive (mutex, thread,
+//            condition_variable, ...) outside src/runtime/ and
+//            src/common/ — everything above the seam uses the annotated
+//            wrappers in common/mutex.h so the clang thread-safety
+//            analysis can see it (std::atomic is a warning, not an
+//            error: sometimes right, always worth a look)
+//   CON-002  a class that declares a Mutex member must GUARDED_BY- or
+//            PT_GUARDED_BY-annotate every mutable member below it
+//   CON-003  detached threads / raw std::this_thread sleeps outside the
+//            substrate — lifetimes belong to the substrate's join logic,
+//            waits belong to its scheduler
+//
+// Each rule carries a severity: `error` findings fail the build (exit 1),
+// `warning` findings are reported but do not gate.
 //
 // Suppression (clang-tidy style; the reason is mandatory):
 //   code;  // NOLINT(DET-003): why this is safe.
 //   // NOLINTNEXTLINE(DET-001): why this is safe.
 //   code;
 //
-// Usage: tornado_lint [--json] [--fix-hints] [path...]   (default: src)
-// Exit code 0 when clean, 1 on unsuppressed findings, 2 on usage errors.
+// Usage: tornado_lint [--json] [--sarif] [--fix-hints] [path...]
+// (default path: src). Exit code 0 when no unsuppressed errors, 1 when
+// at least one unsuppressed error finding, 2 on usage errors.
 
 #include <algorithm>
 #include <cctype>
@@ -50,6 +65,7 @@ struct Finding {
   std::string file;
   int line = 0;
   std::string rule;
+  std::string severity;  // "error" gates the build, "warning" reports only
   std::string message;
   std::string hint;
   bool suppressed = false;
@@ -66,29 +82,43 @@ struct SourceFile {
 
 struct RuleInfo {
   const char* id;
+  const char* severity;  // default for findings of this rule
   const char* description;
   const char* hint;
 };
 
 const RuleInfo kRules[] = {
-    {"DET-001",
+    {"DET-001", "error",
      "wall-clock time source in deterministic code",
      "use the simulated clock (EventLoop::now / Node::now) instead"},
-    {"DET-002",
+    {"DET-002", "error",
      "ad-hoc random source in deterministic code",
      "derive a stream from common/rng.h (e.g. SessionTable::MakeVertexRng)"},
-    {"DET-003",
+    {"DET-003", "error",
      "hash-table iteration order reaches the network",
      "iterate via common/ordered.h (SortedKeys / ForEachOrdered)"},
-    {"DET-004",
+    {"DET-004", "error",
      "pointer-keyed ordered container",
      "key by a stable id (VertexId, LoopId, NodeId), not an address"},
-    {"SER-001",
+    {"SER-001", "error",
      "Payload struct missing from the message serde registry",
      "add TORNADO_MESSAGE_SERDE(<struct>) to core/message_serde.cc"},
-    {"RUN-001",
+    {"RUN-001", "error",
      "concrete substrate type included outside the substrate layer",
      "include runtime/substrate.h and take Clock*/Scheduler*/Transport*"},
+    {"CON-001", "error",
+     "raw std:: synchronization primitive above the substrate seam",
+     "use tornado::Mutex / MutexLock / CondVar from common/mutex.h (they "
+     "carry the thread-safety annotations); threads belong to the "
+     "substrate"},
+    {"CON-002", "error",
+     "mutable member of a mutex-holding class lacks GUARDED_BY",
+     "annotate the member GUARDED_BY(<mutex>) (PT_GUARDED_BY for pointees) "
+     "or move it above the mutex with a comment on why it needs no lock"},
+    {"CON-003", "error",
+     "detached thread or raw sleep outside the substrate",
+     "join through the substrate's Stop path; replace sleeps with "
+     "Scheduler::ScheduleAfter or Substrate::RunFor"},
 };
 
 const RuleInfo* FindRule(const std::string& id) {
@@ -299,13 +329,18 @@ Suppression CheckSuppressed(const SourceFile& f, int line,
 
 class Linter {
  public:
+  // `severity` overrides the rule's default for this one finding (used by
+  // CON-001 to downgrade std::atomic sightings to a warning).
   void Report(const SourceFile& f, size_t offset, const std::string& rule,
-              const std::string& message) {
+              const std::string& message, const char* severity = nullptr) {
     const RuleInfo* info = FindRule(rule);
     Finding finding;
     finding.file = f.path;
     finding.line = LineOf(f, offset);
     finding.rule = rule;
+    finding.severity = severity != nullptr
+                           ? severity
+                           : (info != nullptr ? info->severity : "error");
     finding.message = message;
     finding.hint = info != nullptr ? info->hint : "";
     const Suppression s = CheckSuppressed(f, finding.line, rule);
@@ -597,6 +632,220 @@ void CheckRuntimeIncludes(const SourceFile& f, Linter* lint) {
   }
 }
 
+// --- CON-001 / CON-003: concurrency primitives above the seam. ---
+
+// The substrate and the annotated wrappers are the two layers allowed to
+// name raw primitives; bench/ and tools/ are host-side programs outside
+// the engine's threading model.
+bool ExemptFromConcurrencyRules(const std::string& path) {
+  return path.find("runtime/") != std::string::npos ||
+         path.find("common/") != std::string::npos ||
+         path.find("bench/") != std::string::npos ||
+         path.find("tools/") != std::string::npos;
+}
+
+// True when the identifier at `pos` is written `std::<word>`: the two
+// characters before it are "::" and the identifier before those is `std`.
+// (Checking for the qualifier keeps `#include <mutex>` and repo types
+// that merely reuse a name out of scope.)
+bool QualifiedByStd(const std::string& code, size_t pos) {
+  if (pos < 5 || code[pos - 1] != ':' || code[pos - 2] != ':') return false;
+  size_t end = pos - 2;  // one past the qualifying identifier
+  if (code.substr(end - 3, 3) != "std") return false;
+  return end == 3 || !IsIdentChar(code[end - 4]);
+}
+
+void CheckConcurrencyPrimitives(const SourceFile& f, Linter* lint) {
+  if (ExemptFromConcurrencyRules(f.path)) return;
+  static const char* kBanned[] = {
+      "mutex",         "recursive_mutex",       "timed_mutex",
+      "recursive_timed_mutex",                  "shared_mutex",
+      "shared_timed_mutex",                     "condition_variable",
+      "condition_variable_any",                 "thread",
+      "jthread",       "lock_guard",            "unique_lock",
+      "scoped_lock",   "shared_lock",           "once_flag",
+      "call_once",
+  };
+  for (const char* word : kBanned) {
+    for (size_t pos : FindWord(f.code, word)) {
+      if (!QualifiedByStd(f.code, pos)) continue;
+      lint->Report(f, pos, "CON-001",
+                   "std::" + std::string(word) + " above the substrate "
+                   "seam; the thread-safety analysis cannot see through "
+                   "raw primitives");
+    }
+  }
+  // std::atomic is only a warning: a lone flag or counter with no
+  // compound invariant is legitimately lock-free, but each new one
+  // deserves a look (and a NOLINT with the reasoning once reviewed).
+  for (const char* word : {"atomic", "atomic_flag"}) {
+    for (size_t pos : FindWord(f.code, word)) {
+      if (!QualifiedByStd(f.code, pos)) continue;
+      lint->Report(f, pos, "CON-001",
+                   "std::" + std::string(word) + " above the substrate "
+                   "seam; fine for an independent flag or counter — "
+                   "confirm there is no compound invariant, then NOLINT "
+                   "with the reasoning",
+                   "warning");
+    }
+  }
+}
+
+void CheckThreadHygiene(const SourceFile& f, Linter* lint) {
+  if (ExemptFromConcurrencyRules(f.path)) return;
+  for (size_t pos : FindWord(f.code, "detach")) {
+    const bool member_call =
+        (pos >= 1 && f.code[pos - 1] == '.') ||
+        (pos >= 2 && f.code[pos - 2] == '-' && f.code[pos - 1] == '>');
+    if (!member_call) continue;
+    if (!NextNonSpaceIs(f.code, pos + 6, '(')) continue;
+    lint->Report(f, pos, "CON-003",
+                 "detach() orphans the thread; nothing can join it at "
+                 "shutdown and TSan cannot see its lifetime");
+  }
+  for (const char* word : {"sleep_for", "sleep_until"}) {
+    for (size_t pos : FindWord(f.code, word)) {
+      // `::sleep_for` catches both std::this_thread:: and a using-decl'd
+      // this_thread::; an unqualified repo helper is someone else's.
+      if (pos < 2 || f.code[pos - 1] != ':' || f.code[pos - 2] != ':') {
+        continue;
+      }
+      lint->Report(f, pos, "CON-003",
+                   std::string(word) + " blocks a worker on the host "
+                   "clock; timed work goes through the substrate's "
+                   "scheduler");
+    }
+  }
+}
+
+// --- CON-002: unguarded members in mutex-holding classes. ---
+
+// True when the statement has a '(' outside any <...> template argument
+// list — i.e. it declares or defines a function, not a data member.
+bool LooksLikeFunctionDecl(const std::string& stmt) {
+  int angle = 0;
+  for (char c : stmt) {
+    if (c == '<') ++angle;
+    if (c == '>' && angle > 0) --angle;
+    if (c == '(' && angle == 0) return true;
+  }
+  return false;
+}
+
+// A field statement that needs no GUARDED_BY: synchronization members
+// themselves, atomics (CON-001 already makes the author justify those),
+// threads (join handles, not data), immutable members, nested type
+// definitions, and anything already annotated.
+bool ExemptFieldStatement(const std::string& stmt) {
+  static const char* kExemptWords[] = {
+      "GUARDED_BY", "PT_GUARDED_BY", "Mutex",  "RecursiveMutex", "CondVar",
+      "atomic",     "thread",        "Thread", "class",          "struct",
+      "enum",       "union",         "using",  "typedef",        "friend",
+      "static",     "constexpr",     "operator",                 "template",
+  };
+  for (const char* word : kExemptWords) {
+    if (!FindWord(stmt, word).empty()) return true;
+  }
+  if (stmt.find("TORNADO_") != std::string::npos) return true;
+  // `const T name_;` is set once at construction; nothing to guard.
+  const std::string trimmed = Trim(stmt);
+  if (trimmed.rfind("const ", 0) == 0) return true;
+  return LooksLikeFunctionDecl(stmt);
+}
+
+// Strips `public:` / `private:` / `protected:` access labels that the
+// statement buffer accumulates (they end in ':', not ';').
+std::string StripAccessLabels(std::string stmt) {
+  while (true) {
+    const std::string t = Trim(stmt);
+    bool stripped = false;
+    for (const char* label : {"public", "private", "protected"}) {
+      const std::string prefix = std::string(label) + ":";
+      // Guard against `public::` style qualifications (none exist, but
+      // cheap to be exact): require a single colon.
+      if (t.rfind(prefix, 0) == 0 &&
+          (t.size() == prefix.size() || t[prefix.size()] != ':')) {
+        stmt = t.substr(prefix.size());
+        stripped = true;
+        break;
+      }
+    }
+    if (!stripped) return Trim(stmt);
+  }
+}
+
+// Declares-a-mutex test for one class-scope statement: a Mutex /
+// RecursiveMutex word followed by something other than a function's
+// parameter list (i.e. a member declaration).
+bool DeclaresMutexMember(const std::string& stmt) {
+  if (LooksLikeFunctionDecl(stmt)) return false;
+  return !FindWord(stmt, "Mutex").empty() ||
+         !FindWord(stmt, "RecursiveMutex").empty();
+}
+
+// Token-level scope walk: tracks whether each brace scope is a class
+// body, whether that class has declared an annotated mutex yet, and
+// flags the mutable members declared after it that carry no GUARDED_BY.
+// Runs everywhere — a class guarding state with a Mutex states a
+// contract, and every unannotated member after it is a hole in that
+// contract regardless of directory.
+void CheckGuardedFields(const SourceFile& f, Linter* lint) {
+  struct Scope {
+    bool is_class = false;
+    bool has_mutex = false;
+    std::string pending;  // statement buffer of the ENCLOSING scope
+  };
+  std::vector<Scope> stack;
+  std::string stmt;
+  const std::string& code = f.code;
+  for (size_t i = 0; i < code.size(); ++i) {
+    const char c = code[i];
+    if (c == '{') {
+      Scope scope;
+      const std::string head = StripAccessLabels(stmt);
+      scope.is_class = !FindWord(head, "class").empty() ||
+                       !FindWord(head, "struct").empty() ||
+                       !FindWord(head, "union").empty();
+      // enum class { A, B } is not a field-holding scope.
+      if (!FindWord(head, "enum").empty()) scope.is_class = false;
+      scope.pending = std::move(stmt);
+      stmt.clear();
+      stack.push_back(std::move(scope));
+      continue;
+    }
+    if (c == '}') {
+      if (stack.empty()) continue;
+      std::string pending = std::move(stack.back().pending);
+      stack.pop_back();
+      // `} ;` continues the enclosing statement (class definition or
+      // brace-initialized member); `}` alone ends a function body.
+      if (NextNonSpaceIs(code, i + 1, ';')) {
+        stmt = std::move(pending);
+      } else {
+        stmt.clear();
+      }
+      continue;
+    }
+    if (c == ';') {
+      if (!stack.empty() && stack.back().is_class) {
+        const std::string field = StripAccessLabels(stmt);
+        if (!field.empty()) {
+          if (DeclaresMutexMember(field)) {
+            stack.back().has_mutex = true;
+          } else if (stack.back().has_mutex && !ExemptFieldStatement(field)) {
+            lint->Report(f, i, "CON-002",
+                         "member `" + field + "` declared after this "
+                         "class's mutex but not GUARDED_BY it");
+          }
+        }
+      }
+      stmt.clear();
+      continue;
+    }
+    stmt.push_back(c);
+  }
+}
+
 // --- SER-001: serde registry coverage. ---
 
 void CheckSerdeRegistry(const std::vector<SourceFile>& files, Linter* lint) {
@@ -669,6 +918,12 @@ void CollectPaths(const std::string& root, std::vector<std::string>* out) {
   }
 }
 
+// SARIF 2.1.0 (the GitHub code-scanning ingestion format): one run, the
+// rule table as the tool's driver metadata, one result per unsuppressed
+// finding. Suppressed findings are omitted — their NOLINT reason is the
+// repo-side record.
+void PrintSarif(const std::vector<Finding>& findings, std::ostream& out);
+
 std::string JsonEscape(const std::string& s) {
   std::string out;
   for (char c : s) {
@@ -690,22 +945,66 @@ std::string JsonEscape(const std::string& s) {
   return out;
 }
 
+void PrintSarif(const std::vector<Finding>& findings, std::ostream& out) {
+  out << "{\n"
+      << "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [\n"
+      << "    {\n"
+      << "      \"tool\": {\n"
+      << "        \"driver\": {\n"
+      << "          \"name\": \"tornado_lint\",\n"
+      << "          \"informationUri\": \"docs/CHECKS.md\",\n"
+      << "          \"rules\": [";
+  bool first = true;
+  for (const RuleInfo& r : kRules) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "            {\"id\": \"" << r.id
+        << "\", \"shortDescription\": {\"text\": \"" << JsonEscape(r.description)
+        << "\"}, \"defaultConfiguration\": {\"level\": \"" << r.severity
+        << "\"}, \"help\": {\"text\": \"" << JsonEscape(r.hint) << "\"}}";
+  }
+  out << "\n          ]\n"
+      << "        }\n"
+      << "      },\n"
+      << "      \"results\": [";
+  first = true;
+  for (const Finding& f : findings) {
+    if (f.suppressed) continue;
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "        {\"ruleId\": \"" << f.rule << "\", \"level\": \""
+        << f.severity << "\", \"message\": {\"text\": \""
+        << JsonEscape(f.message) << "\"}, \"locations\": [{"
+        << "\"physicalLocation\": {\"artifactLocation\": {\"uri\": \""
+        << JsonEscape(f.file) << "\"}, \"region\": {\"startLine\": "
+        << f.line << "}}}]}";
+  }
+  out << "\n      ]\n    }\n  ]\n}\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool json = false;
+  bool sarif = false;
   bool fix_hints = false;
   std::vector<std::string> roots;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") {
       json = true;
+    } else if (arg == "--sarif") {
+      sarif = true;
     } else if (arg == "--fix-hints") {
       fix_hints = true;
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: tornado_lint [--json] [--fix-hints] [path...]\n";
+      std::cout << "usage: tornado_lint [--json] [--sarif] [--fix-hints] "
+                   "[path...]\n";
       for (const RuleInfo& r : kRules) {
-        std::cout << "  " << r.id << "  " << r.description << "\n";
+        std::cout << "  " << r.id << "  [" << r.severity << "]  "
+                  << r.description << "\n";
       }
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -738,6 +1037,9 @@ int main(int argc, char** argv) {
     CheckUnorderedIteration(f, unordered, &lint);
     CheckPointerKeys(f, &lint);
     CheckRuntimeIncludes(f, &lint);
+    CheckConcurrencyPrimitives(f, &lint);
+    CheckGuardedFields(f, &lint);
+    CheckThreadHygiene(f, &lint);
   }
   CheckSerdeRegistry(files, &lint);
 
@@ -750,11 +1052,15 @@ int main(int argc, char** argv) {
 
   int unsuppressed = 0;
   int suppressed = 0;
+  int unsuppressed_errors = 0;
   for (const Finding& f : lint.findings()) {
     f.suppressed ? ++suppressed : ++unsuppressed;
+    if (!f.suppressed && f.severity == "error") ++unsuppressed_errors;
   }
 
-  if (json) {
+  if (sarif) {
+    PrintSarif(lint.findings(), std::cout);
+  } else if (json) {
     std::cout << "{\n  \"findings\": [";
     bool first = true;
     for (const Finding& f : lint.findings()) {
@@ -762,6 +1068,7 @@ int main(int argc, char** argv) {
       first = false;
       std::cout << "    {\"file\": \"" << JsonEscape(f.file)
                 << "\", \"line\": " << f.line << ", \"rule\": \"" << f.rule
+                << "\", \"severity\": \"" << f.severity
                 << "\", \"message\": \"" << JsonEscape(f.message)
                 << "\", \"hint\": \"" << JsonEscape(f.hint)
                 << "\", \"suppressed\": " << (f.suppressed ? "true" : "false")
@@ -770,19 +1077,26 @@ int main(int argc, char** argv) {
     std::cout << "\n  ],\n";
     std::cout << "  \"files_scanned\": " << files.size() << ",\n";
     std::cout << "  \"unsuppressed\": " << unsuppressed << ",\n";
+    std::cout << "  \"unsuppressed_errors\": " << unsuppressed_errors
+              << ",\n";
     std::cout << "  \"suppressed\": " << suppressed << "\n}\n";
   } else {
     for (const Finding& f : lint.findings()) {
       if (f.suppressed) continue;
-      std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
-                << f.message << "\n";
-      if (fix_hints && !f.hint.empty()) {
-        std::cout << "    hint: " << f.hint << "\n";
+      std::cout << f.file << ":" << f.line << ": [" << f.rule << " "
+                << f.severity << "] " << f.message << "\n";
+      if (fix_hints) {
+        if (!f.hint.empty()) std::cout << "    hint: " << f.hint << "\n";
+        // The escape hatch, spelled out so it can be pasted: the reason
+        // is mandatory — a bare NOLINT does not suppress.
+        std::cout << "    suppress: // NOLINT(" << f.rule
+                  << "): <why this is safe>\n";
       }
     }
     std::cout << "tornado_lint: " << files.size() << " files, "
-              << unsuppressed << " finding(s), " << suppressed
-              << " suppressed\n";
+              << unsuppressed << " finding(s) (" << unsuppressed_errors
+              << " error(s)), " << suppressed << " suppressed\n";
   }
-  return unsuppressed == 0 ? 0 : 1;
+  // Warnings report but do not gate; only unsuppressed errors fail.
+  return unsuppressed_errors == 0 ? 0 : 1;
 }
