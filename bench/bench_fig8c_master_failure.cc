@@ -8,14 +8,20 @@
 // notification); B=256 keeps running until its updates hit the delay
 // bound, then stalls; the essentially-unbounded loop (B=65536) continues
 // as if nothing happened. All loops resume after the master recovers.
+//
+// The failure drive lives in scenarios/fig8c_master_failure.json; this
+// bench loads it, sweeps the delay bound in memory, and keeps only the
+// artifact plumbing (trace/series/JSON) and the table rendering.
 
-#include <memory>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "common/logging.h"
 #include "common/metrics.h"
-#include "stream/graph_stream.h"
+#include "scenario/runner.h"
+#include "scenario/scenario.h"
 #include "trace/time_series.h"
 #include "trace/trace_recorder.h"
 
@@ -23,50 +29,32 @@ namespace tornado {
 namespace bench {
 namespace {
 
-constexpr uint64_t kTuples = 30000;
-constexpr double kBucket = 0.05;    // sampling bucket (s)
-constexpr double kKillAfter = 0.05;  // after the branch starts
-constexpr double kDowntime = 1.5;
+constexpr char kScenarioFile[] =
+    TORNADO_SCENARIO_DIR "/fig8c_master_failure.json";
 
 /// One bound's run; artifact/JSON handling mirrors the fig 8d bench.
-std::vector<int64_t> RunBound(uint64_t bound, double* kill_time,
+std::vector<int64_t> RunBound(const scenario::Scenario& base, uint64_t bound,
                               const BenchArgs* artifacts, BenchJson* json) {
-  JobConfig config = SsspJob(bound, /*batch_mode=*/true);
-  TornadoCluster cluster(config,
-                         std::make_unique<GraphStream>(BenchGraph(kTuples)));
+  scenario::Scenario s = base;
+  s.consistency.delay_bound = bound;
   const bool want_trace =
       artifacts != nullptr &&
       (artifacts->WantsTrace() || !artifacts->series_path.empty());
+  scenario::RunOptions hooks;
   if (want_trace) {
-    cluster.EnableTracing();
-    cluster.trace()->Pause();  // skip the warmup, trace the failure window
+    hooks.after_build = [](TornadoCluster& cluster) {
+      cluster.EnableTracing();
+      cluster.trace()->Pause();  // skip the warmup, trace the failure window
+    };
+    hooks.before_query = [](TornadoCluster& cluster) {
+      cluster.trace()->Resume();
+    };
   }
-  cluster.Start();
-  std::vector<int64_t> updates_per_bucket;
-  if (!cluster.RunUntilEmitted(kTuples / 2, 3000.0)) return updates_per_bucket;
-  cluster.ingester().Pause();
-  cluster.RunFor(0.5);
+  scenario::ScenarioRunner runner(std::move(s), std::move(hooks));
+  scenario::ScenarioVerdict verdict = runner.Run();
+  if (!verdict.completed) return verdict.updates_per_bucket;
 
-  if (want_trace) cluster.trace()->Resume();
-  (void)cluster.ingester().SubmitQuery();
-  cluster.RunFor(kKillAfter);
-  *kill_time = kKillAfter;
-  cluster.transport().KillNode(cluster.master_node());
-  cluster.failures().RecoverAt(cluster.master_node(),
-                               cluster.now() + kDowntime);
-
-  int64_t previous =
-      cluster.metrics().Get(metric::kUpdatesCommitted);
-  const int buckets = static_cast<int>((kKillAfter + kDowntime + 1.5) /
-                                       kBucket);
-  for (int i = 0; i < buckets; ++i) {
-    cluster.RunFor(kBucket);
-    const int64_t now =
-        cluster.metrics().Get(metric::kUpdatesCommitted);
-    updates_per_bucket.push_back(now - previous);
-    previous = now;
-  }
-
+  TornadoCluster& cluster = *runner.cluster();
   if (want_trace) {
     cluster.trace()->Pause();
     if (artifacts->WantsTrace()) {
@@ -80,27 +68,39 @@ std::vector<int64_t> RunBound(uint64_t bound, double* kill_time,
     json->SetVirtualSeconds(cluster.now());
     json->AddMetrics(cluster.metrics());
   }
-  return updates_per_bucket;
+  return verdict.updates_per_bucket;
 }
 
 void Run(const BenchArgs& args) {
+  scenario::Scenario base;
+  std::vector<std::string> errors;
+  if (!scenario::LoadScenarioFile(kScenarioFile, &base, &errors)) {
+    std::fprintf(stderr, "%s: invalid scenario\n", kScenarioFile);
+    for (const std::string& e : errors) {
+      std::fprintf(stderr, "  %s\n", e.c_str());
+    }
+    std::exit(2);
+  }
+  const double kill_after = base.timeline.at(0).at;
+  const double downtime = base.timeline.at(0).downtime;
+  const double bucket = base.drive.bucket_seconds;
+
   PrintHeader("Branch-loop update rate around a master failure",
               "Figure 8c");
   std::printf(
       "master killed %.1fs after the branch starts, recovers %.1fs later\n\n",
-      kKillAfter, kDowntime);
+      kill_after, downtime);
 
   BenchJson json("fig8c_master_failure");
-  json.AddKnob("tuples", static_cast<double>(kTuples));
-  json.AddKnob("kill_after_seconds", kKillAfter);
-  json.AddKnob("downtime_seconds", kDowntime);
+  json.AddKnob("tuples", static_cast<double>(base.workload.tuples));
+  json.AddKnob("kill_after_seconds", kill_after);
+  json.AddKnob("downtime_seconds", downtime);
   json.AddKnob("traced_bound", 16.0);
 
-  double kill_time = 0.0;
   std::vector<std::vector<int64_t>> series;
   for (uint64_t bound : {1u, 16u, 65536u}) {
     const bool traced = bound == 16u;
-    series.push_back(RunBound(bound, &kill_time, traced ? &args : nullptr,
+    series.push_back(RunBound(base, bound, traced ? &args : nullptr,
                               traced ? &json : nullptr));
     int64_t total = 0;
     for (int64_t u : series.back()) total += u;
@@ -115,10 +115,10 @@ void Run(const BenchArgs& args) {
   for (size_t i = 0; i < n; ++i) {
     auto cell = [&](size_t s) {
       return i < series[s].size()
-                 ? Table::Num(series[s][i] / kBucket, 0)
+                 ? Table::Num(series[s][i] / bucket, 0)
                  : std::string("-");
     };
-    table.AddRow({Table::Num(static_cast<double>(i) * kBucket - 0.0, 2),
+    table.AddRow({Table::Num(static_cast<double>(i) * bucket - 0.0, 2),
                   cell(0), cell(1), cell(2)});
   }
   table.Print();

@@ -117,6 +117,8 @@ inline constexpr const char kMessagesDelivered[] = "messages_delivered";
 inline constexpr const char kMessagesRetransmitted[] = "messages_retransmitted";
 inline constexpr const char kMessagesDeduped[] = "messages_deduped";
 inline constexpr const char kTransportAcks[] = "transport_acks";
+inline constexpr const char kMessagesDroppedLink[] = "messages_dropped_link";
+inline constexpr const char kAcksDroppedLink[] = "acks_dropped_link";
 inline constexpr const char kVersionsFlushed[] = "versions_flushed";
 inline constexpr const char kInputsGathered[] = "inputs_gathered";
 inline constexpr const char kUpdatesBlocked[] = "updates_blocked_at_bound";

@@ -46,8 +46,11 @@ void Ingester::Tick() {
   if (emit_hook_) emit_hook_(emitted_);
   if (exhausted_) return;
 
+  const double override_rate = rate_override_.load();
   const double interval =
-      static_cast<double>(config_->ingest_batch) / config_->ingest_rate;
+      override_rate > 0.0
+          ? static_cast<double>(config_->ingest_batch) / override_rate
+          : static_cast<double>(config_->ingest_batch) / config_->ingest_rate;
   ticking_ = true;
   ScheduleSelf(interval, [this]() { Tick(); });
 }

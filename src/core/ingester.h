@@ -50,6 +50,13 @@ class Ingester : public Node {
   void Resume();
   bool paused() const { return paused_; }
 
+  /// Overrides the configured ingest rate from the next tick on (tuples
+  /// per second, > 0). Passing 0 restores the JobConfig rate exactly —
+  /// the override path never re-derives the configured interval, so a
+  /// set-then-clear round trip is arithmetically invisible. Drivers use
+  /// this for scripted rate surges (scenario "set_rate" actions).
+  void SetRateOverride(double rate) { rate_override_ = rate; }
+
   /// Issues a user request for the results "as of now". Returns the query
   /// id; completion is reported through the result hook and the
   /// completed_queries() list.
@@ -107,6 +114,7 @@ class Ingester : public Node {
   std::atomic<bool> paused_{false};         // NOLINT(CON-001): lone flag
   std::atomic<bool> ticking_{false};        // NOLINT(CON-001): lone flag
   std::atomic<bool> exhausted_{false};      // NOLINT(CON-001): lone flag
+  std::atomic<double> rate_override_{0.0};  // NOLINT(CON-001): lone knob
   // Wiring-phase state: set before Start(), then read by the service
   // thread only (see the hook setters).
   std::function<void(uint64_t)> emit_hook_;

@@ -60,6 +60,13 @@ void Network::Send(NodeId src, NodeId dst, PayloadPtr payload, bool reliable) {
 void Network::TransmitToHost(NodeId src, NodeId dst, uint32_t src_inc,
                              uint64_t seq, PayloadPtr payload, bool reliable,
                              bool retransmit) {
+  if (IsLinkDown(src, dst)) {
+    // The copy dies at the sending host: no NIC time, no latency sample.
+    // Reliable channels retry from their retransmit timer and succeed
+    // once the link is restored; unreliable copies are simply lost.
+    metrics_.Inc(metric::kMessagesDroppedLink);
+    return;
+  }
   NodeState& sender = nodes_[src];
   NodeState& receiver = nodes_[dst];
   if (retransmit) metrics_.Inc(metric::kMessagesRetransmitted);
@@ -125,7 +132,13 @@ void Network::ArriveAtNode(NodeId src, NodeId dst, uint32_t src_inc,
   // (transport optimizations must not perturb simulated timing).
   const double ack_latency = SampleLatency();
   RecvChannel& rc = recv_channels_[ChannelKey(src, src_inc, dst, dst_inc)];
-  if (!rc.ack_pending) {
+  if (IsLinkDown(dst, src)) {
+    // Asymmetric-cut case: data still flows src -> dst, but the ack's
+    // reverse path is down, so the ack is lost at the receiving host and
+    // the sender keeps retransmitting into dedup (a gray failure). The
+    // jitter sample above is still drawn to keep the RNG stream stable.
+    metrics_.Inc(metric::kAcksDroppedLink);
+  } else if (!rc.ack_pending) {
     rc.ack_pending = true;
     loop_->Schedule(ack_latency, [this, src, src_inc, dst, dst_inc]() {
       DeliverCumulativeAck(src, src_inc, dst, dst_inc);
@@ -326,8 +339,11 @@ void Network::Pump(NodeId id, uint32_t incarnation) {
   } else {
     ns.node->OnMessage(entry.src, *entry.payload);
   }
+  // delay_factor is 1.0 outside straggler injection, so the expression —
+  // and with it every same-seed virtual timestamp — is unchanged then.
   const double service =
-      cost_.per_message_cpu / ns.speed + handler_extra_cost_ / ns.speed;
+      (cost_.per_message_cpu / ns.speed + handler_extra_cost_ / ns.speed) *
+      ns.delay_factor;
   handler_extra_cost_ = 0.0;
   ns.busy_until = loop_->now() + service;
 
@@ -383,6 +399,28 @@ void Network::RecoverNode(NodeId id) {
 bool Network::IsAlive(NodeId id) const {
   TCHECK_LT(id, nodes_.size());
   return nodes_[id].alive;
+}
+
+void Network::SetLinkDown(NodeId src, NodeId dst, bool down) {
+  TCHECK_LT(src, nodes_.size());
+  TCHECK_LT(dst, nodes_.size());
+  if (down) {
+    if (down_links_.insert(LinkKey(src, dst)).second) {
+      TLOG_INFO << "link " << src << " -> " << dst << " down at t="
+                << loop_->now();
+    }
+  } else if (down_links_.erase(LinkKey(src, dst)) > 0) {
+    TLOG_INFO << "link " << src << " -> " << dst << " restored at t="
+              << loop_->now();
+  }
+}
+
+void Network::SetNodeDelayFactor(NodeId id, double factor) {
+  TCHECK_LT(id, nodes_.size());
+  TCHECK_GT(factor, 0.0);
+  nodes_[id].delay_factor = factor;
+  TLOG_INFO << "node " << id << " delay factor = " << factor
+            << " at t=" << loop_->now();
 }
 
 }  // namespace tornado

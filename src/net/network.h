@@ -59,6 +59,21 @@ class Network final : public Transport {
   void RecoverNode(NodeId id) override;
   bool IsAlive(NodeId id) const override;
 
+  /// Link-level fault injection (one direction): while down, copies from
+  /// `src` to `dst` are dropped at the sending host before any NIC or
+  /// latency modeling, and transport acks whose reverse path is down are
+  /// lost the same way. Reliable senders keep retransmitting (backoff
+  /// capped) and the channel heals when the link is restored.
+  void SetLinkDown(NodeId src, NodeId dst, bool down) override;
+  bool IsLinkDown(NodeId src, NodeId dst) const {
+    return !down_links_.empty() && down_links_.count(LinkKey(src, dst)) > 0;
+  }
+
+  /// Straggler injection: multiplies `id`'s message service time by
+  /// `factor` from now on (1.0 restores nominal; registration
+  /// speed_factor still applies multiplicatively).
+  void SetNodeDelayFactor(NodeId id, double factor) override;
+
   double now() const override { return loop_->now(); }
   EventLoop* loop() { return loop_; }
   const CostModel& cost() const { return cost_; }
@@ -96,6 +111,7 @@ class Network final : public Transport {
     Node* node = nullptr;
     HostId host = 0;
     double speed = 1.0;
+    double delay_factor = 1.0;  // straggler multiplier, schedule-driven
     bool alive = true;
     uint32_t incarnation = 0;
     std::deque<InboxEntry> inbox;
@@ -165,6 +181,10 @@ class Network final : public Transport {
            static_cast<uint64_t>(dst_inc & 0x3FFF);
   }
 
+  static uint64_t LinkKey(NodeId src, NodeId dst) {
+    return (static_cast<uint64_t>(src) << 32) | dst;
+  }
+
   void TransmitToHost(NodeId src, NodeId dst, uint32_t src_inc, uint64_t seq,
                       PayloadPtr payload, bool reliable, bool retransmit);
   void ArriveAtNode(NodeId src, NodeId dst, uint32_t src_inc,
@@ -189,6 +209,7 @@ class Network final : public Transport {
   std::vector<HostState> hosts_;
   std::unordered_map<uint64_t, SendChannel> send_channels_;
   std::unordered_map<uint64_t, RecvChannel> recv_channels_;
+  std::set<uint64_t> down_links_;  // LinkKey(src, dst) of one-way cuts
   double handler_extra_cost_ = 0.0;
   NetworkObserver* observer_ = nullptr;
 };

@@ -165,6 +165,21 @@ class Transport {
   virtual void RecoverNode(NodeId id) = 0;
   virtual bool IsAlive(NodeId id) const = 0;
 
+  /// Link-level fault injection: while `down`, traffic from `src` to
+  /// `dst` is silently dropped at the sending host — one direction only,
+  /// so asymmetric (gray) failures are expressible; cut both directions
+  /// for a full partition edge. Reliable channels keep retransmitting and
+  /// recover once the link is restored; transport acks crossing a downed
+  /// reverse link are lost too. Backends without failure support
+  /// TCHECK-fail.
+  virtual void SetLinkDown(NodeId src, NodeId dst, bool down) = 0;
+
+  /// Straggler injection: multiplies `id`'s per-message service time by
+  /// `factor` (> 0; 1.0 restores nominal speed). Unlike the static
+  /// registration speed_factor this can change mid-run on a schedule.
+  /// Backends without failure support TCHECK-fail.
+  virtual void SetNodeDelayFactor(NodeId id, double factor) = 0;
+
   /// Current substrate time (same epoch as the substrate Clock).
   virtual double now() const = 0;
 
@@ -216,6 +231,11 @@ class SubstrateRng {
  public:
   static constexpr uint64_t kTransportStream = 0xA5A5A5A5ULL;
   static constexpr uint64_t kThreadStream = 0x7E57AB1E00000000ULL;
+  /// Scenario fuzzing (src/scenario/fuzzer.h): per-run mutation streams
+  /// are kFuzzMutationStream + run index; the shrinker draws from its own
+  /// stream so adding shrink randomness never perturbs mutation replay.
+  static constexpr uint64_t kFuzzMutationStream = 0xF0220000'00000000ULL;
+  static constexpr uint64_t kFuzzShrinkStream = 0x51121C00'00000000ULL;
 
   explicit SubstrateRng(uint64_t base_seed) : base_(base_seed) {}
 

@@ -192,6 +192,15 @@ bool ThreadTransport::IsAlive(NodeId id) const {
   return true;
 }
 
+void ThreadTransport::SetLinkDown(NodeId /*src*/, NodeId /*dst*/,
+                                  bool /*down*/) {
+  TCHECK(false) << "thread transport does not support failure injection";
+}
+
+void ThreadTransport::SetNodeDelayFactor(NodeId /*id*/, double /*factor*/) {
+  TCHECK(false) << "thread transport does not support failure injection";
+}
+
 int64_t ThreadTransport::InFlightCount() const {
   return sent_counter_->load() - delivered_counter_->load();
 }

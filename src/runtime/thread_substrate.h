@@ -109,6 +109,8 @@ class ThreadTransport final : public Transport {
   void KillNode(NodeId id) override;
   void RecoverNode(NodeId id) override;
   bool IsAlive(NodeId id) const override;
+  void SetLinkDown(NodeId src, NodeId dst, bool down) override;
+  void SetNodeDelayFactor(NodeId id, double factor) override;
   double now() const override { return clock_->now(); }
   MetricRegistry& metrics() override { return metrics_; }
   size_t node_count() const override { return nodes_.size(); }

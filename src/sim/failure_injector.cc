@@ -1,5 +1,7 @@
 #include "sim/failure_injector.h"
 
+#include <algorithm>
+
 namespace tornado {
 
 void FailureInjector::KillAt(NodeId node, double at) {
@@ -9,6 +11,48 @@ void FailureInjector::KillAt(NodeId node, double at) {
 void FailureInjector::RecoverAt(NodeId node, double at) {
   scheduler_->ScheduleAt(at,
                          [t = transport_, node]() { t->RecoverNode(node); });
+}
+
+void FailureInjector::DropLinkAt(NodeId src, NodeId dst, double at) {
+  scheduler_->ScheduleAt(at, [t = transport_, src, dst]() {
+    t->SetLinkDown(src, dst, true);
+  });
+}
+
+void FailureInjector::RestoreLinkAt(NodeId src, NodeId dst, double at) {
+  scheduler_->ScheduleAt(at, [t = transport_, src, dst]() {
+    t->SetLinkDown(src, dst, false);
+  });
+}
+
+void FailureInjector::SetPartition(const std::vector<NodeId>& side,
+                                   bool down) {
+  const size_t n = transport_->node_count();
+  for (NodeId inside : side) {
+    if (inside >= n) continue;
+    for (NodeId outside = 0; outside < n; ++outside) {
+      if (std::find(side.begin(), side.end(), outside) != side.end()) {
+        continue;
+      }
+      transport_->SetLinkDown(inside, outside, down);
+      transport_->SetLinkDown(outside, inside, down);
+    }
+  }
+}
+
+void FailureInjector::PartitionAt(const std::vector<NodeId>& side, double at) {
+  scheduler_->ScheduleAt(at, [this, side]() { SetPartition(side, true); });
+}
+
+void FailureInjector::HealPartitionAt(const std::vector<NodeId>& side,
+                                      double at) {
+  scheduler_->ScheduleAt(at, [this, side]() { SetPartition(side, false); });
+}
+
+void FailureInjector::SlowNodeAt(NodeId node, double factor, double at) {
+  scheduler_->ScheduleAt(at, [t = transport_, node, factor]() {
+    t->SetNodeDelayFactor(node, factor);
+  });
 }
 
 }  // namespace tornado

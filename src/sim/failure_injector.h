@@ -1,16 +1,19 @@
 #ifndef TORNADO_SIM_FAILURE_INJECTOR_H_
 #define TORNADO_SIM_FAILURE_INJECTOR_H_
 
+#include <vector>
+
 #include "net/payload.h"
 #include "runtime/substrate.h"
 
 namespace tornado {
 
-/// Schedules node kill/recover actions at virtual times. Used by the
+/// Schedules failure actions at virtual times. Used by the
 /// fault-tolerance experiments (Figures 8c and 8d: master failure and
-/// single-processor failure) and by the failure-injection tests.
-/// Substrate-agnostic, but only the sim transport implements node
-/// failure; the thread transport TCHECK-fails on KillNode.
+/// single-processor failure), by the scenario runner's timeline compiler
+/// (src/scenario/runner.h) and by the failure-injection tests.
+/// Substrate-agnostic, but only the sim transport implements failure
+/// injection; the thread transport TCHECK-fails on every injected action.
 class FailureInjector {
  public:
   FailureInjector(Scheduler* scheduler, Transport* transport)
@@ -28,7 +31,42 @@ class FailureInjector {
     RecoverAt(node, at + downtime);
   }
 
+  /// Drops the one-way link src -> dst at `at` (gray / asymmetric
+  /// failures: the reverse direction keeps flowing unless also dropped).
+  void DropLinkAt(NodeId src, NodeId dst, double at);
+
+  /// Restores the one-way link src -> dst at `at`.
+  void RestoreLinkAt(NodeId src, NodeId dst, double at);
+
+  /// Cuts every link (both directions) between the nodes in `side` and
+  /// every node not in `side` at `at` — a full bidirectional partition
+  /// with `side` as the minority island. Node ids outside
+  /// transport->node_count() are ignored.
+  void PartitionAt(const std::vector<NodeId>& side, double at);
+
+  /// Heals the partition installed by PartitionAt for the same `side`.
+  void HealPartitionAt(const std::vector<NodeId>& side, double at);
+
+  /// Immediate (unscheduled) partition apply/heal; the scenario runner
+  /// uses these at its drive boundaries.
+  void PartitionNow(const std::vector<NodeId>& side) {
+    SetPartition(side, true);
+  }
+  void HealPartitionNow(const std::vector<NodeId>& side) {
+    SetPartition(side, false);
+  }
+
+  /// Multiplies `node`'s per-message service time by `factor` (> 1 is a
+  /// straggler, < 1 a speedup) starting at `at`.
+  void SlowNodeAt(NodeId node, double factor, double at);
+
+  /// Restores `node` to nominal speed (factor 1.0) at `at`.
+  void RestoreSpeedAt(NodeId node, double at) { SlowNodeAt(node, 1.0, at); }
+
  private:
+  /// Applies the cross-partition link state between `side` and the rest.
+  void SetPartition(const std::vector<NodeId>& side, bool down);
+
   Scheduler* scheduler_;
   Transport* transport_;
 };

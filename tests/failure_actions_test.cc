@@ -1,0 +1,164 @@
+// Unit tests for the FailureInjector's schedule-driven actions beyond
+// kill/recover: one-way link drops, bidirectional partitions and per-node
+// delay multipliers — each through its apply AND heal transition, since
+// the scenario runner (src/scenario/runner.cc) compiles timelines into
+// exactly these calls.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/metrics.h"
+#include "net/payload.h"
+#include "runtime/sim_substrate.h"
+#include "sim/failure_injector.h"
+#include "tests/test_util.h"
+
+namespace tornado {
+namespace {
+
+struct TestPayload : Payload {
+  explicit TestPayload(int v) : value(v) {}
+  int value;
+  const char* name() const override { return "Test"; }
+};
+
+/// Records each received value with the virtual time it arrived at.
+class StampSink : public Node {
+ public:
+  explicit StampSink(const Clock* clock) : clock_(clock) {}
+  void OnMessage(NodeId src, const Payload& msg) override {
+    (void)src;
+    values.push_back(static_cast<const TestPayload&>(msg).value);
+    times.push_back(clock_->now());
+  }
+  std::vector<int> values;
+  std::vector<double> times;
+
+ private:
+  const Clock* clock_;
+};
+
+class FailureActionsTest : public ::testing::Test {
+ protected:
+  /// Nodes i are placed on host i%hosts — cross-host pairs exercise the
+  /// wire path where link drops apply.
+  void Init(int nodes, int hosts, CostModel cost = CostModel()) {
+    substrate = std::make_unique<SimSubstrate>(cost, /*seed=*/5);
+    injector = std::make_unique<FailureInjector>(substrate->scheduler(),
+                                                 substrate->transport());
+    for (int i = 0; i < nodes; ++i) {
+      auto node = std::make_unique<StampSink>(substrate->clock());
+      substrate->network()->RegisterNode(node.get(), i % hosts);
+      sinks.push_back(std::move(node));
+    }
+  }
+
+  void Send(NodeId from, NodeId to, int value, bool reliable = false) {
+    substrate->network()->Send(from, to,
+                               std::make_shared<TestPayload>(value), reliable);
+  }
+
+  int64_t Dropped() {
+    return substrate->network()->metrics().Get(metric::kMessagesDroppedLink);
+  }
+
+  std::unique_ptr<SimSubstrate> substrate;
+  std::unique_ptr<FailureInjector> injector;
+  std::vector<std::unique_ptr<StampSink>> sinks;
+};
+
+TEST_F(FailureActionsTest, LinkDropIsOneWayAndHeals) {
+  Init(2, 2);
+  injector->DropLinkAt(0, 1, /*at=*/1.0);
+  injector->RestoreLinkAt(0, 1, /*at=*/2.0);
+
+  Send(0, 1, 10);  // before the drop: delivered
+  substrate->RunFor(1.5);
+  Send(0, 1, 11);  // during the drop: lost at the sending host
+  Send(1, 0, 20);  // reverse direction unaffected (one-way semantics)
+  substrate->RunFor(1.0);
+  Send(0, 1, 12);  // after the restore: delivered again
+  substrate->RunFor(1.0);
+
+  EXPECT_EQ(sinks[1]->values, (std::vector<int>{10, 12}));
+  EXPECT_EQ(sinks[0]->values, (std::vector<int>{20}));
+  EXPECT_EQ(Dropped(), 1);
+}
+
+TEST_F(FailureActionsTest, ReliableSendIsMaskedByRetransmitAfterHeal) {
+  Init(2, 2);
+  injector->DropLinkAt(0, 1, /*at=*/1.0);
+  injector->RestoreLinkAt(0, 1, /*at=*/1.5);
+
+  substrate->RunFor(1.1);
+  Send(0, 1, 30, /*reliable=*/true);  // first attempt lost, retry succeeds
+  substrate->RunFor(3.0);
+
+  EXPECT_EQ(sinks[1]->values, (std::vector<int>{30}));
+  EXPECT_GE(Dropped(), 1);
+}
+
+TEST_F(FailureActionsTest, PartitionCutsBothDirectionsAndHeals) {
+  Init(4, 4);
+  injector->PartitionAt({0, 1}, /*at=*/1.0);
+  injector->HealPartitionAt({0, 1}, /*at=*/2.0);
+
+  substrate->RunFor(1.2);
+  Send(0, 2, 40);  // island -> rest: cut
+  Send(2, 0, 41);  // rest -> island: cut
+  Send(0, 1, 42);  // intra-island: flows
+  Send(2, 3, 43);  // intra-rest: flows
+  substrate->RunFor(0.5);
+  EXPECT_TRUE(sinks[2]->values.empty());
+  EXPECT_TRUE(sinks[0]->values.empty());
+  EXPECT_EQ(sinks[1]->values, (std::vector<int>{42}));
+  EXPECT_EQ(sinks[3]->values, (std::vector<int>{43}));
+  EXPECT_EQ(Dropped(), 2);
+
+  substrate->RunFor(0.5);  // past the heal
+  Send(0, 2, 44);
+  Send(2, 0, 45);
+  substrate->RunFor(0.5);
+  EXPECT_EQ(sinks[2]->values, (std::vector<int>{44}));
+  EXPECT_EQ(sinks[0]->values, (std::vector<int>{45}));
+  EXPECT_EQ(Dropped(), 2);  // nothing new dropped after the heal
+}
+
+TEST_F(FailureActionsTest, SlowNodeStretchesServiceTimeUntilRestored) {
+  // Deterministic timing: no jitter, and a service time that dominates
+  // the fixed network latency so the multiplier is visible.
+  CostModel cost;
+  cost.net_jitter = 0.0;
+  cost.per_message_cpu = 1e-3;
+  Init(2, 2, cost);
+  injector->SlowNodeAt(1, /*factor=*/10.0, /*at=*/1.0);
+  injector->RestoreSpeedAt(1, /*at=*/2.0);
+
+  // Service time delays the NEXT dequeue, so the multiplier shows up as
+  // the spread across a back-to-back burst: the same 3-message pattern in
+  // a nominal, a slowed and a restored window.
+  auto burst_spread = [&](int first_value) {
+    const size_t before = sinks[1]->times.size();
+    Send(0, 1, first_value);
+    Send(0, 1, first_value + 1);
+    Send(0, 1, first_value + 2);
+    substrate->RunFor(1.0);
+    const auto& times = sinks[1]->times;
+    EXPECT_EQ(times.size(), before + 3);
+    return times.back() - times[before];
+  };
+
+  const double nominal = burst_spread(50);   // window [0, 1)
+  const double slowed = burst_spread(60);    // window [1, 2): factor 10
+  const double restored = burst_spread(70);  // window [2, 3): factor 1
+
+  EXPECT_GT(slowed, nominal * 5.0);
+  // Factor 1.0 makes the service expression an exact identity; the spread
+  // subtracts absolute timestamps near t=2, so allow one-ULP noise there.
+  EXPECT_NEAR(restored, nominal, 1e-12);
+}
+
+}  // namespace
+}  // namespace tornado

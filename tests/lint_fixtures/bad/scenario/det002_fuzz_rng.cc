@@ -1,0 +1,15 @@
+// Fixture: ad-hoc randomness in a scenario-subsystem path. The scenario
+// fuzzer's mutation logic deliberately lives in src/scenario — NOT the
+// DET-exempt tools/ directory — precisely so that DET-002 fires on
+// host-entropy draws like these instead of silently allowing them.
+namespace fixture {
+
+inline unsigned BadMutationDraw() {
+  return static_cast<unsigned>(rand());
+}
+
+inline unsigned BadMutationSeed() {
+  return std::random_device{}();
+}
+
+}  // namespace fixture

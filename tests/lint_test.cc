@@ -139,6 +139,17 @@ TEST(LintTest, AtomicIsAWarningAndDoesNotGate) {
       << run.output;
 }
 
+// The scenario fuzzer's randomness lives in src/scenario so DET-002
+// covers it (tools/ is exempt). This fixture's path contains "scenario/"
+// the same way the real sources do — ad-hoc RNG there must be caught.
+TEST(LintTest, Det002CoversScenarioSubsystemPaths) {
+  const LintRun run =
+      RunLint("--json " + Fixtures("bad/scenario/det002_fuzz_rng.cc"));
+  ASSERT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_GE(CountFindings(run.output, "DET-002", /*suppressed=*/false), 2)
+      << run.output;
+}
+
 TEST(LintTest, NolintWithoutReasonDoesNotSuppress) {
   const LintRun run = RunLint("--json " + Fixtures("bad/det001_clock.cc"));
   ASSERT_EQ(run.exit_code, 1) << run.output;

@@ -1,0 +1,66 @@
+// Runs one scenario JSON file under the invariant checker and prints the
+// structured verdict. Exit codes: 0 = completed with invariants held,
+// 1 = ran but violated or incomplete, 2 = file/validation error.
+//
+// Usage: scenario_run <scenario.json> [--verbose]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "scenario/runner.h"
+#include "scenario/scenario.h"
+
+int main(int argc, char** argv) {
+  const char* path = nullptr;
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--verbose") == 0) {
+      verbose = true;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      std::fprintf(stderr, "usage: scenario_run <scenario.json> [--verbose]\n");
+      return 2;
+    }
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr, "usage: scenario_run <scenario.json> [--verbose]\n");
+    return 2;
+  }
+
+  tornado::scenario::Scenario scenario;
+  std::vector<std::string> errors;
+  if (!tornado::scenario::LoadScenarioFile(path, &scenario, &errors)) {
+    std::fprintf(stderr, "%s: invalid scenario\n", path);
+    for (const std::string& e : errors) {
+      std::fprintf(stderr, "  %s\n", e.c_str());
+    }
+    return 2;
+  }
+
+  tornado::scenario::ScenarioRunner runner(std::move(scenario));
+  const tornado::scenario::ScenarioVerdict verdict = runner.Run();
+
+  std::printf("scenario %s: %s\n", runner.scenario().name.c_str(),
+              verdict.Summary().c_str());
+  for (const auto& v : verdict.violations) {
+    std::printf("  violation %s: %s\n", v.invariant.c_str(),
+                v.detail.c_str());
+  }
+  if (verbose) {
+    std::printf("  virtual_seconds = %.6f\n", verdict.virtual_seconds);
+    if (verdict.query_latency >= 0.0) {
+      std::printf("  query_latency = %.6f\n", verdict.query_latency);
+    }
+    for (const auto& [name, value] : verdict.counters) {
+      std::printf("  counter %s = %lld\n", name.c_str(),
+                  static_cast<long long>(value));
+    }
+  }
+  return (verdict.completed && verdict.invariants_held) ? 0 : 1;
+}
