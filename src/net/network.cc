@@ -7,24 +7,61 @@
 
 namespace tornado {
 
-Network::Network(EventLoop* loop, CostModel cost, uint64_t seed)
-    : loop_(loop), cost_(cost), rng_(seed) {}
+Network::Network(EventLoop* loop, CostModel cost, uint64_t seed,
+                 uint32_t shard, uint32_t num_shards,
+                 MetricRegistry* shared_metrics)
+    : loop_(loop),
+      cost_(cost),
+      seed_(seed),
+      shard_(shard),
+      num_shards_(num_shards) {
+  TCHECK_LT(shard_, num_shards_ == 0 ? 1 : num_shards_);
+  if (shared_metrics != nullptr) {
+    metrics_ = shared_metrics;
+  } else {
+    owned_metrics_ = std::make_unique<MetricRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  c_sent_ = &metrics_->CounterHandle(metric::kMessagesSent);
+  c_delivered_ = &metrics_->CounterHandle(metric::kMessagesDelivered);
+  c_retransmitted_ = &metrics_->CounterHandle(metric::kMessagesRetransmitted);
+  c_deduped_ = &metrics_->CounterHandle(metric::kMessagesDeduped);
+  c_transport_acks_ = &metrics_->CounterHandle(metric::kTransportAcks);
+  c_dropped_link_ = &metrics_->CounterHandle(metric::kMessagesDroppedLink);
+  c_acks_dropped_link_ = &metrics_->CounterHandle(metric::kAcksDroppedLink);
+}
 
-void Network::RegisterNode(Node* node, HostId host, double speed_factor) {
-  TCHECK(node != nullptr);
+void Network::AddNodeEntry(Node* node, HostId host, double speed_factor) {
   const NodeId id = static_cast<NodeId>(nodes_.size());
-  Bind(node, id, this);
   NodeState state;
   state.node = node;
   state.host = host;
   state.speed = speed_factor;
+  // Per-node jitter stream derived from (seed, id) alone: every instance
+  // — serial or any shard of a parallel run — reproduces node i's stream
+  // bit-for-bit, which is what keeps same-seed traces identical across
+  // shard counts (docs/PARSIM.md).
+  state.rng = Rng(seed_ + 0x9E3779B97F4A7C15ULL * (static_cast<uint64_t>(id) + 1));
   nodes_.push_back(std::move(state));
   if (host >= hosts_.size()) hosts_.resize(host + 1);
 }
 
-double Network::SampleLatency() {
-  const double jitter =
-      rng_.NextDouble(1.0 - cost_.net_jitter, 1.0 + cost_.net_jitter);
+void Network::RegisterNode(Node* node, HostId host, double speed_factor) {
+  TCHECK(node != nullptr);
+  TCHECK(OwnsHost(host)) << "node registered on a shard that does not own "
+                            "host " << host;
+  Bind(node, static_cast<NodeId>(nodes_.size()), this);
+  AddNodeEntry(node, host, speed_factor);
+}
+
+void Network::RegisterMirror(HostId host) {
+  TCHECK(!OwnsHost(host)) << "mirror registered on the owning shard";
+  AddNodeEntry(nullptr, host, 1.0);
+}
+
+double Network::SampleLatency(NodeId node) {
+  const double jitter = nodes_[node].rng.NextDouble(1.0 - cost_.net_jitter,
+                                                    1.0 + cost_.net_jitter);
   return cost_.net_latency * jitter;
 }
 
@@ -32,8 +69,9 @@ void Network::Send(NodeId src, NodeId dst, PayloadPtr payload, bool reliable) {
   TCHECK_LT(src, nodes_.size());
   TCHECK_LT(dst, nodes_.size());
   NodeState& sender = nodes_[src];
+  TCHECK(sender.node != nullptr) << "Send from a node this shard does not own";
   if (!sender.alive) return;
-  metrics_.Inc(metric::kMessagesSent);
+  c_sent_->fetch_add(1, std::memory_order_relaxed);
   if (observer_ != nullptr) observer_->OnSend(src, dst, *payload);
 
   uint64_t seq = 0;
@@ -64,12 +102,12 @@ void Network::TransmitToHost(NodeId src, NodeId dst, uint32_t src_inc,
     // The copy dies at the sending host: no NIC time, no latency sample.
     // Reliable channels retry from their retransmit timer and succeed
     // once the link is restored; unreliable copies are simply lost.
-    metrics_.Inc(metric::kMessagesDroppedLink);
+    c_dropped_link_->fetch_add(1, std::memory_order_relaxed);
     return;
   }
   NodeState& sender = nodes_[src];
   NodeState& receiver = nodes_[dst];
-  if (retransmit) metrics_.Inc(metric::kMessagesRetransmitted);
+  if (retransmit) c_retransmitted_->fetch_add(1, std::memory_order_relaxed);
 
   const uint32_t dst_inc = receiver.incarnation;
   double arrival = loop_->now();
@@ -82,7 +120,28 @@ void Network::TransmitToHost(NodeId src, NodeId dst, uint32_t src_inc,
     HostState& egress = hosts_[sender.host];
     double start = std::max(arrival, egress.egress_busy);
     egress.egress_busy = start + cost_.nic_wire_time;
-    arrival = egress.egress_busy + SampleLatency();
+    arrival = egress.egress_busy + SampleLatency(src);
+    if (!OwnsHost(receiver.host)) {
+      // Another shard owns the receiving host: the copy leaves this
+      // shard's horizon here. `arrival >= now + nic_wire_time + minimum
+      // latency`, strictly beyond the conservative window's lookahead, so
+      // the barrier merge injects it into a future the destination shard
+      // has not simulated yet (docs/PARSIM.md).
+      CrossShardPacket p;
+      p.kind = CrossShardPacket::Kind::kWireArrival;
+      p.time = arrival;
+      p.src = src;
+      p.dst = dst;
+      p.src_inc = src_inc;
+      p.dst_inc = dst_inc;
+      p.src_shard = shard_;
+      p.emit_seq = next_emit_seq_++;
+      p.seq = seq;
+      p.payload = std::move(payload);
+      p.reliable = reliable;
+      outbox_.push_back(std::move(p));
+      return;
+    }
   }
 
   loop_->ScheduleAt(arrival, [this, src, dst, src_inc, dst_inc, seq,
@@ -103,10 +162,55 @@ void Network::TransmitToHost(NodeId src, NodeId dst, uint32_t src_inc,
   });
 }
 
+std::vector<CrossShardPacket> Network::TakeOutbox() {
+  std::vector<CrossShardPacket> out;
+  out.swap(outbox_);
+  return out;
+}
+
+void Network::InjectCrossShard(CrossShardPacket p) {
+  TCHECK_LT(p.dst, nodes_.size());
+  TCHECK(OwnsNode(p.kind == CrossShardPacket::Kind::kWireArrival ? p.dst
+                                                                 : p.src));
+  // The conservative window guarantees injected events land strictly in
+  // this shard's future; equality would mean the lookahead bound broke.
+  TCHECK_GT(p.time, loop_->now());
+  switch (p.kind) {
+    case CrossShardPacket::Kind::kWireArrival:
+      // Mirrors the cross_host branch of the transmit lambda exactly:
+      // charge the receiving NIC at the wire-arrival instant, then hand
+      // the copy to the node. Identical arithmetic, identical event
+      // shapes, hence identical traces.
+      loop_->ScheduleAt(p.time, [this, src = p.src, dst = p.dst,
+                                 src_inc = p.src_inc, dst_inc = p.dst_inc,
+                                 seq = p.seq, payload = std::move(p.payload),
+                                 reliable = p.reliable]() {
+        HostState& ingress = hosts_[nodes_[dst].host];
+        const double start = std::max(loop_->now(), ingress.ingress_busy);
+        ingress.ingress_busy = start + cost_.nic_wire_time;
+        loop_->ScheduleAt(
+            ingress.ingress_busy,
+            [this, src, dst, src_inc, dst_inc, seq, payload, reliable]() {
+              ArriveAtNode(src, dst, src_inc, dst_inc, seq, payload, reliable);
+            });
+      });
+      break;
+    case CrossShardPacket::Kind::kAckApply:
+      loop_->ScheduleAt(p.time, [this, src = p.src, src_inc = p.src_inc,
+                                 dst = p.dst, dst_inc = p.dst_inc,
+                                 cumulative = p.cumulative,
+                                 sacks = std::move(p.sacks)]() {
+        ApplyAck(src, src_inc, dst, dst_inc, cumulative, sacks);
+      });
+      break;
+  }
+}
+
 void Network::ArriveAtNode(NodeId src, NodeId dst, uint32_t src_inc,
                            uint32_t dst_inc, uint64_t seq, PayloadPtr payload,
                            bool reliable) {
   NodeState& receiver = nodes_[dst];
+  TCHECK(receiver.node != nullptr) << "arrival at a mirror entry";
   if (!receiver.alive) return;  // Dropped; the sender will retransmit.
   if (receiver.incarnation != dst_inc) {
     // The receiver restarted since this copy was transmitted; its channel
@@ -121,47 +225,104 @@ void Network::ArriveAtNode(NodeId src, NodeId dst, uint32_t src_inc,
     return;
   }
 
+  // TCP-like per-channel semantics: drop duplicates, hold out-of-order
+  // arrivals, deliver in sequence order. Delivery happens before the ack
+  // below is captured, so the ack always covers this arrival.
+  RecvChannel& rc = recv_channels_[ChannelKey(src, src_inc, dst, dst_inc)];
+  if (seq <= rc.contiguous || rc.held.count(seq) > 0) {
+    c_deduped_->fetch_add(1, std::memory_order_relaxed);
+  } else {
+    rc.held.emplace(seq, HeldMessage{src, std::move(payload)});
+    while (!rc.held.empty() && rc.held.begin()->first == rc.contiguous + 1) {
+      HeldMessage next = std::move(rc.held.begin()->second);
+      rc.held.erase(rc.held.begin());
+      ++rc.contiguous;
+      EnqueueAtNode(next.src, dst, std::move(next.payload));
+    }
+  }
+
   // Transport-level acknowledgement back to the sender (unreliable and
   // cheap; a lost ack only causes a duplicate, which dedup absorbs).
-  // Coalesced: one in-flight cumulative ack per channel — it reports the
-  // channel's receive state (contiguous + held sequences) as of its
-  // delivery, covering every arrival folded in while it travelled. The
-  // jitter sample is still drawn per arrival so the engine's RNG stream —
-  // and with it every downstream virtual-clock timestamp — is identical
-  // whether or not an arrival's ack was folded into a pending one
-  // (transport optimizations must not perturb simulated timing).
-  const double ack_latency = SampleLatency();
-  RecvChannel& rc = recv_channels_[ChannelKey(src, src_inc, dst, dst_inc)];
+  // Coalesced: one in-flight ack per channel, carrying the receive state
+  // (cumulative + held sequences) captured *now* — arrivals while it is
+  // in flight mark a follow-up capture instead of scheduling their own
+  // acks. The jitter sample is drawn per arrival (from the receiver's
+  // stream) so the RNG stream — and with it every downstream
+  // virtual-clock timestamp — is identical whether or not an arrival's
+  // ack was folded into a pending one.
+  const double ack_lat = SampleLatency(dst);
   if (IsLinkDown(dst, src)) {
     // Asymmetric-cut case: data still flows src -> dst, but the ack's
     // reverse path is down, so the ack is lost at the receiving host and
     // the sender keeps retransmitting into dedup (a gray failure). The
     // jitter sample above is still drawn to keep the RNG stream stable.
-    metrics_.Inc(metric::kAcksDroppedLink);
-  } else if (!rc.ack_pending) {
-    rc.ack_pending = true;
-    loop_->Schedule(ack_latency, [this, src, src_inc, dst, dst_inc]() {
-      DeliverCumulativeAck(src, src_inc, dst, dst_inc);
-    });
-  }
-
-  // TCP-like per-channel semantics: drop duplicates, hold out-of-order
-  // arrivals, deliver in sequence order.
-  if (seq <= rc.contiguous || rc.held.count(seq) > 0) {
-    metrics_.Inc(metric::kMessagesDeduped);
-    return;
-  }
-  rc.held.emplace(seq, HeldMessage{src, std::move(payload)});
-  while (!rc.held.empty() && rc.held.begin()->first == rc.contiguous + 1) {
-    HeldMessage next = std::move(rc.held.begin()->second);
-    rc.held.erase(rc.held.begin());
-    ++rc.contiguous;
-    EnqueueAtNode(next.src, dst, std::move(next.payload));
+    c_acks_dropped_link_->fetch_add(1, std::memory_order_relaxed);
+  } else if (loop_->now() >= rc.ack_pending_until) {
+    ScheduleAckApply(src, src_inc, dst, dst_inc, ack_lat, rc);
+    rc.ack_pending_until = loop_->now() + ack_lat;
+  } else if (!rc.followup_scheduled) {
+    rc.followup_scheduled = true;
+    rc.next_ack_lat = ack_lat;
+    loop_->ScheduleAt(rc.ack_pending_until,
+                      [this, src, src_inc, dst, dst_inc]() {
+                        AckFollowup(src, src_inc, dst, dst_inc);
+                      });
+  } else {
+    rc.next_ack_lat = ack_lat;
   }
 }
 
+void Network::ScheduleAckApply(NodeId src, uint32_t src_inc, NodeId dst,
+                               uint32_t dst_inc, double ack_lat,
+                               RecvChannel& rc) {
+  const double apply_time = loop_->now() + ack_lat;
+  const uint64_t cumulative = rc.contiguous;
+  std::vector<uint64_t> sacks;
+  sacks.reserve(rc.held.size());
+  for (const auto& [held_seq, held] : rc.held) {
+    (void)held;
+    sacks.push_back(held_seq);
+  }
+  if (OwnsNode(src)) {
+    loop_->ScheduleAt(apply_time,
+                      [this, src, src_inc, dst, dst_inc, cumulative,
+                       sacks = std::move(sacks)]() {
+                        ApplyAck(src, src_inc, dst, dst_inc, cumulative, sacks);
+                      });
+    return;
+  }
+  // The sender lives on another shard: the captured ack travels as plain
+  // data through the barrier merge. `ack_lat >= minimum network latency >
+  // window lookahead`, so it lands strictly beyond the current window.
+  CrossShardPacket p;
+  p.kind = CrossShardPacket::Kind::kAckApply;
+  p.time = apply_time;
+  p.src = src;
+  p.dst = dst;
+  p.src_inc = src_inc;
+  p.dst_inc = dst_inc;
+  p.src_shard = shard_;
+  p.emit_seq = next_emit_seq_++;
+  p.cumulative = cumulative;
+  p.sacks = std::move(sacks);
+  outbox_.push_back(std::move(p));
+}
+
+void Network::AckFollowup(NodeId src, uint32_t src_inc, NodeId dst,
+                          uint32_t dst_inc) {
+  // The receiver restarted while the ack was in flight: its channel state
+  // is gone, and the pending follow-up dies with it (the sender migrates
+  // the messages to the new incarnation at the next retransmit).
+  auto it = recv_channels_.find(ChannelKey(src, src_inc, dst, dst_inc));
+  if (it == recv_channels_.end()) return;
+  RecvChannel& rc = it->second;
+  rc.followup_scheduled = false;
+  ScheduleAckApply(src, src_inc, dst, dst_inc, rc.next_ack_lat, rc);
+  rc.ack_pending_until = loop_->now() + rc.next_ack_lat;
+}
+
 void Network::EnqueueAtNode(NodeId src, NodeId dst, PayloadPtr payload) {
-  metrics_.Inc(metric::kMessagesDelivered);
+  c_delivered_->fetch_add(1, std::memory_order_relaxed);
   if (observer_ != nullptr) observer_->OnDeliver(src, dst, *payload);
   nodes_[dst].inbox.push_back(InboxEntry{src, std::move(payload), nullptr});
   SchedulePump(dst);
@@ -174,22 +335,13 @@ void Network::TrimWindow(SendChannel& ch) {
   }
 }
 
-void Network::DeliverCumulativeAck(NodeId src, uint32_t src_inc, NodeId dst,
-                                   uint32_t dst_inc) {
-  const uint64_t key = ChannelKey(src, src_inc, dst, dst_inc);
-  auto rc_it = recv_channels_.find(key);
-  // The receiver restarted while the ack was in flight: its channel state
-  // is gone, so the ack is lost with it (the sender migrates the messages
-  // to the new incarnation at the next retransmit).
-  if (rc_it == recv_channels_.end()) return;
-  RecvChannel& rc = rc_it->second;
-  rc.ack_pending = false;
-  const uint64_t cumulative = rc.contiguous;
-  metrics_.Inc(metric::kTransportAcks);
-
+void Network::ApplyAck(NodeId src, uint32_t src_inc, NodeId dst,
+                       uint32_t dst_inc, uint64_t cumulative,
+                       const std::vector<uint64_t>& sacks) {
+  c_transport_acks_->fetch_add(1, std::memory_order_relaxed);
   NodeState& sender = nodes_[src];
   if (!sender.alive || sender.incarnation != src_inc) return;
-  auto ch_it = send_channels_.find(key);
+  auto ch_it = send_channels_.find(ChannelKey(src, src_inc, dst, dst_inc));
   if (ch_it == send_channels_.end()) return;
   SendChannel& ch = ch_it->second;
 
@@ -199,9 +351,9 @@ void Network::DeliverCumulativeAck(NodeId src, uint32_t src_inc, NodeId dst,
     ch.window.pop_front();
     ++ch.base_seq;
   }
-  // Selective part: sequences held out-of-order at the receiver (rc.held
-  // is iteration-ordered, so this stays deterministic).
-  for (const auto& [held_seq, held] : rc.held) {
+  // Selective part: sequences the receiver held out-of-order when the ack
+  // was captured (already sorted — rc.held iterates in sequence order).
+  for (const uint64_t held_seq : sacks) {
     if (held_seq < ch.base_seq) continue;
     const size_t idx = static_cast<size_t>(held_seq - ch.base_seq);
     if (idx >= ch.window.size()) continue;
@@ -270,7 +422,7 @@ void Network::ChannelTimerFired(uint64_t channel_key) {
       // The receiver restarted: this channel is dead. Migrate the message
       // onto a fresh channel toward the new incarnation (at-least-once
       // across receiver restarts, Section 5.3).
-      metrics_.Inc(metric::kMessagesRetransmitted);
+      c_retransmitted_->fetch_add(1, std::memory_order_relaxed);
       migrate.emplace_back(p.dst, std::move(p.payload));
       p.done = true;
       --ch.live;
@@ -307,6 +459,7 @@ void Network::ChannelTimerFired(uint64_t channel_key) {
 void Network::ScheduleOnNode(NodeId id, double delay,
                              std::function<void()> fn) {
   TCHECK_LT(id, nodes_.size());
+  TCHECK(OwnsNode(id)) << "timer on a node this shard does not own";
   const uint32_t inc = nodes_[id].incarnation;
   loop_->Schedule(delay, [this, id, inc, fn = std::move(fn)]() {
     NodeState& ns = nodes_[id];
@@ -357,6 +510,7 @@ void Network::KillNode(NodeId id) {
   NodeState& ns = nodes_[id];
   if (!ns.alive) return;
   ns.alive = false;
+  if (ns.node == nullptr) return;  // Mirror: the owning shard does the rest.
   ns.inbox.clear();
   // The crashed process loses its send-side channel state: cancel its
   // (single, per-channel) retransmission timers.
@@ -378,6 +532,7 @@ void Network::RecoverNode(NodeId id) {
   if (ns.alive) return;
   ns.alive = true;
   ns.incarnation++;
+  if (ns.node == nullptr) return;  // Mirror: the owning shard does the rest.
   ns.busy_until = loop_->now();
   ns.inbox.clear();
   ns.pump_scheduled = false;
@@ -405,11 +560,11 @@ void Network::SetLinkDown(NodeId src, NodeId dst, bool down) {
   TCHECK_LT(src, nodes_.size());
   TCHECK_LT(dst, nodes_.size());
   if (down) {
-    if (down_links_.insert(LinkKey(src, dst)).second) {
+    if (down_links_.insert(LinkKey(src, dst)).second && shard_ == 0) {
       TLOG_INFO << "link " << src << " -> " << dst << " down at t="
                 << loop_->now();
     }
-  } else if (down_links_.erase(LinkKey(src, dst)) > 0) {
+  } else if (down_links_.erase(LinkKey(src, dst)) > 0 && shard_ == 0) {
     TLOG_INFO << "link " << src << " -> " << dst << " restored at t="
               << loop_->now();
   }
@@ -419,6 +574,7 @@ void Network::SetNodeDelayFactor(NodeId id, double factor) {
   TCHECK_LT(id, nodes_.size());
   TCHECK_GT(factor, 0.0);
   nodes_[id].delay_factor = factor;
+  if (nodes_[id].node == nullptr) return;  // Mirror; owner logs.
   TLOG_INFO << "node " << id << " delay factor = " << factor
             << " at t=" << loop_->now();
 }

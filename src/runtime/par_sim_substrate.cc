@@ -1,0 +1,328 @@
+#include "runtime/par_sim_substrate.h"
+
+#include <algorithm>
+#include <iterator>
+#include <limits>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace tornado {
+
+namespace {
+
+/// The cross-shard merge order: (time, src_shard, emit_seq). Time orders
+/// causally-unrelated packets; the (shard, per-shard counter) pair breaks
+/// exact-double ties the same way in every run, so injection order — and
+/// with it the destination loop's same-time tie-break — is reproducible
+/// at any shard count.
+bool MergeBefore(const CrossShardPacket& a, const CrossShardPacket& b) {
+  if (a.time != b.time) return a.time < b.time;
+  if (a.src_shard != b.src_shard) return a.src_shard < b.src_shard;
+  return a.emit_seq < b.emit_seq;
+}
+
+/// Shard whose loop must execute the packet: wire arrivals run at the
+/// receiver, captured acks apply at the original sender.
+NodeId RouteNode(const CrossShardPacket& p) {
+  return p.kind == CrossShardPacket::Kind::kAckApply ? p.src : p.dst;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ParTransport — the driver-context facade.
+
+void ParTransport::RegisterNode(Node* node, HostId host, double speed_factor) {
+  const uint32_t owner = static_cast<uint32_t>(host % sub_->num_shards_);
+  for (uint32_t s = 0; s < sub_->num_shards_; ++s) {
+    Network* net = sub_->shards_[s]->net.get();
+    if (s == owner) {
+      net->RegisterNode(node, host, speed_factor);
+    } else {
+      net->RegisterMirror(host);
+    }
+  }
+  node_owner_.push_back(owner);
+}
+
+Network* ParTransport::Owner(NodeId id) const {
+  TCHECK_LT(static_cast<size_t>(id), node_owner_.size());
+  return sub_->shards_[node_owner_[id]]->net.get();
+}
+
+void ParTransport::Send(NodeId src, NodeId dst, PayloadPtr payload,
+                        bool reliable) {
+  Owner(src)->Send(src, dst, std::move(payload), reliable);
+}
+
+void ParTransport::ScheduleOnNode(NodeId node, double delay,
+                                  std::function<void()> fn) {
+  Owner(node)->ScheduleOnNode(node, delay, std::move(fn));
+}
+
+void ParTransport::AddHandlerCost(double /*seconds*/) {
+  // Cost is charged from inside a message handler, and handlers run on
+  // their node's *owning* Network (nodes bind to it at registration), so
+  // every real AddCost lands there. Reaching this facade means a
+  // driver-context caller tried to charge handler time — a bug.
+  TCHECK(false) << "AddHandlerCost outside a node handler (par_sim facade)";
+}
+
+void ParTransport::KillNode(NodeId id) {
+  for (auto& s : sub_->shards_) s->net->KillNode(id);
+}
+
+void ParTransport::RecoverNode(NodeId id) {
+  for (auto& s : sub_->shards_) s->net->RecoverNode(id);
+}
+
+bool ParTransport::IsAlive(NodeId id) const { return Owner(id)->IsAlive(id); }
+
+void ParTransport::SetLinkDown(NodeId src, NodeId dst, bool down) {
+  for (auto& s : sub_->shards_) s->net->SetLinkDown(src, dst, down);
+}
+
+void ParTransport::SetNodeDelayFactor(NodeId id, double factor) {
+  for (auto& s : sub_->shards_) s->net->SetNodeDelayFactor(id, factor);
+}
+
+double ParTransport::now() const { return sub_->clock_.now(); }
+
+MetricRegistry& ParTransport::metrics() { return sub_->metrics_; }
+
+void ParTransport::set_observer(TransportObserver* observer) {
+  for (auto& s : sub_->shards_) s->net->set_observer(observer);
+}
+
+int64_t ParTransport::InFlightCount() const {
+  return sub_->metrics_.Get(metric::kMessagesSent) -
+         sub_->metrics_.Get(metric::kMessagesDelivered);
+}
+
+size_t ParTransport::InboxDepth(NodeId id) const {
+  return Owner(id)->InboxDepth(id);
+}
+
+// ---------------------------------------------------------------------------
+// ParSimSubstrate — conservative-window drive loop.
+
+ParSimSubstrate::ParSimSubstrate(const CostModel& cost, uint64_t base_seed,
+                                 uint32_t num_shards)
+    : Substrate(base_seed),
+      cost_(cost),
+      num_shards_(num_shards == 0 ? 1 : num_shards),
+      scheduler_(&global_loop_),
+      clock_(&global_loop_),
+      transport_(this) {
+  // Lookahead L: the minimum latency any cross-shard interaction carries.
+  // Both cross-shard event kinds — wire arrivals and ack applications —
+  // are delayed by a latency draw from [L, net_latency * (1 + jitter)),
+  // and the draw's lower bound is *inclusive* (Rng::NextDouble is
+  // half-open at the top), so the window must stay strictly below L: an
+  // event executing at the window edge E = M + W emits packets arriving
+  // at >= M + L > E, never inside the window being run.
+  const double lookahead = cost_.net_latency * (1.0 - cost_.net_jitter);
+  TCHECK_GT(lookahead, 0.0)
+      << "par_sim needs net_latency * (1 - net_jitter) > 0 for lookahead";
+  window_ = lookahead * (1.0 - 1e-6);
+  const uint64_t net_seed = rng_.StreamSeed(SubstrateRng::kTransportStream);
+  shards_.reserve(num_shards_);
+  for (uint32_t s = 0; s < num_shards_; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->net = std::make_unique<Network>(&shard->loop, cost_, net_seed, s,
+                                           num_shards_, &metrics_);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ParSimSubstrate::~ParSimSubstrate() { Shutdown(); }
+
+void ParSimSubstrate::Start() { StartWorkers(); }
+
+void ParSimSubstrate::StartWorkers() {
+  if (workers_running_ || num_shards_ <= 1) return;
+  for (uint32_t s = 0; s < num_shards_; ++s) {
+    shards_[s]->worker = std::thread(WorkerMain, this, s);
+  }
+  workers_running_ = true;
+}
+
+void ParSimSubstrate::WorkerMain(ParSimSubstrate* self, uint32_t shard) {
+  Shard* s = self->shards_[shard].get();
+  ExecutionLane::Set(static_cast<int32_t>(shard));
+  uint64_t seen = 0;
+  for (;;) {
+    s->go.wait(seen, std::memory_order_acquire);
+    seen = s->go.load(std::memory_order_acquire);
+    if (s->stop.load(std::memory_order_relaxed)) return;
+    ParClock::SetShardLoop(&s->loop);
+    s->loop.RunUntil(s->run_until);
+    ParClock::SetShardLoop(nullptr);
+    s->done.store(seen, std::memory_order_release);
+    s->done.notify_one();
+  }
+}
+
+void ParSimSubstrate::StopWorkers() {
+  if (!workers_running_) return;
+  ++epoch_;
+  for (auto& s : shards_) {
+    s->stop.store(true, std::memory_order_relaxed);
+    s->go.store(epoch_, std::memory_order_release);
+    s->go.notify_one();
+  }
+  for (auto& s : shards_) {
+    if (s->worker.joinable()) s->worker.join();
+  }
+  workers_running_ = false;
+}
+
+void ParSimSubstrate::RunShardInline(uint32_t shard, double deadline) {
+  Shard* s = shards_[shard].get();
+  ParClock::SetShardLoop(&s->loop);
+  ExecutionLane::Set(static_cast<int32_t>(shard));
+  s->loop.RunUntil(deadline);
+  ExecutionLane::Set(-1);
+  ParClock::SetShardLoop(nullptr);
+}
+
+void ParSimSubstrate::RunShardsUntil(double deadline) {
+  busy_.clear();
+  for (uint32_t i = 0; i < num_shards_; ++i) {
+    Shard* s = shards_[i].get();
+    if (s->loop.NextEventTime() <= deadline) {
+      busy_.push_back(i);
+    } else {
+      // Nothing due: hop the clock on the driver thread so the barrier
+      // invariant (all loops at the same time) holds without a handoff.
+      s->loop.RunUntil(deadline);
+    }
+  }
+  if (busy_.empty()) return;
+  // One busy shard needs no parallelism; and inline execution is
+  // semantically identical to worker execution — windows are independent
+  // by construction, so running them sequentially on this thread yields
+  // the same state and the same (per-lane) trace.
+  if (!workers_running_ || busy_.size() == 1) {
+    for (uint32_t i : busy_) RunShardInline(i, deadline);
+    return;
+  }
+  ++epoch_;
+  for (uint32_t i : busy_) {
+    Shard* s = shards_[i].get();
+    s->run_until = deadline;
+    s->go.store(epoch_, std::memory_order_release);
+    s->go.notify_one();
+  }
+  for (uint32_t i : busy_) {
+    Shard* s = shards_[i].get();
+    uint64_t d = s->done.load(std::memory_order_acquire);
+    while (d != epoch_) {
+      s->done.wait(d, std::memory_order_acquire);
+      d = s->done.load(std::memory_order_acquire);
+    }
+  }
+}
+
+size_t ParSimSubstrate::InjectPending() {
+  std::vector<CrossShardPacket> pending;
+  for (auto& s : shards_) {
+    if (s->net->outbox_empty()) continue;
+    auto batch = s->net->TakeOutbox();
+    pending.insert(pending.end(), std::make_move_iterator(batch.begin()),
+                   std::make_move_iterator(batch.end()));
+  }
+  if (pending.empty()) return 0;
+  std::sort(pending.begin(), pending.end(), MergeBefore);
+  for (auto& p : pending) {
+    Shard* dst = shards_[transport_.OwnerShard(RouteNode(p))].get();
+    dst->net->InjectCrossShard(std::move(p));
+  }
+  return pending.size();
+}
+
+void ParSimSubstrate::AdvanceTo(double target) {
+  // Invariant at the top of every round: all shard loops and the global
+  // loop sit at the same virtual time T (windows and the global RunUntil
+  // both end exactly at the horizon), and every packet emitted during the
+  // previous window is still in its shard's outbox.
+  for (;;) {
+    InjectPending();
+    const double now = global_loop_.now();
+    if (now >= target) return;
+    double m = std::numeric_limits<double>::infinity();
+    for (auto& s : shards_) m = std::min(m, s->loop.NextEventTime());
+    // The conservative horizon: nothing past min-next-event + window can
+    // run yet (a cross-shard packet could still land before it), the
+    // global loop's next event is a barrier by definition (failure
+    // schedules must observe quiesced shards), and the caller's target
+    // caps the round. m + window_ is +inf when all shards are drained.
+    const double horizon =
+        std::min({target, global_loop_.NextEventTime(), m + window_});
+    RunShardsUntil(horizon);
+    global_loop_.RunUntil(horizon);
+  }
+}
+
+bool ParSimSubstrate::Drained() {
+  if (!global_loop_.empty()) return false;
+  for (auto& s : shards_) {
+    if (!s->loop.empty() || !s->net->outbox_empty()) return false;
+  }
+  return true;
+}
+
+bool ParSimSubstrate::RunUntil(const std::function<bool()>& pred,
+                               double timeout, double check_every) {
+  // Mirrors SimSubstrate::RunUntil slice for slice so the two backends
+  // sample the predicate at identical virtual times.
+  const double deadline = global_loop_.now() + timeout;
+  while (global_loop_.now() < deadline) {
+    if (pred()) return true;
+    const double slice = std::min(global_loop_.now() + check_every, deadline);
+    AdvanceTo(slice);
+    if (Drained() && !pred()) {
+      // Nothing scheduled anywhere and the predicate is still false: it
+      // can never become true, so don't spin out the timeout.
+      return pred();
+    }
+  }
+  return pred();
+}
+
+void ParSimSubstrate::RunFor(double seconds) {
+  AdvanceTo(global_loop_.now() + seconds);
+}
+
+void ParSimSubstrate::Shutdown() {
+  StopWorkers();
+  // Best-effort mid-window drain: a run can end between barriers with
+  // cross-shard copies sitting in outboxes; deliver those rather than
+  // drop them (mirroring ThreadTransport's stop-time mailbox drain).
+  // One sweep only — packets the sweep itself emits are discarded.
+  std::vector<CrossShardPacket> pending;
+  for (auto& s : shards_) {
+    auto batch = s->net->TakeOutbox();
+    pending.insert(pending.end(), std::make_move_iterator(batch.begin()),
+                   std::make_move_iterator(batch.end()));
+  }
+  if (pending.empty()) return;
+  std::sort(pending.begin(), pending.end(), MergeBefore);
+  double horizon = global_loop_.now();
+  for (const auto& p : pending) horizon = std::max(horizon, p.time);
+  // Settle margin past the last arrival: room for each arrival's NIC
+  // ingress serialization and pump service so handlers actually run.
+  horizon += cost_.net_latency * (1.0 + cost_.net_jitter) +
+             static_cast<double>(pending.size()) *
+                 (cost_.nic_wire_time + cost_.per_message_cpu);
+  for (auto& p : pending) {
+    Shard* dst = shards_[transport_.OwnerShard(RouteNode(p))].get();
+    dst->net->InjectCrossShard(std::move(p));
+  }
+  for (uint32_t s = 0; s < num_shards_; ++s) RunShardInline(s, horizon);
+  global_loop_.RunUntil(horizon);
+  for (auto& s : shards_) (void)s->net->TakeOutbox();
+}
+
+}  // namespace tornado

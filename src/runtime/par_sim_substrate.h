@@ -1,0 +1,188 @@
+#ifndef TORNADO_RUNTIME_PAR_SIM_SUBSTRATE_H_
+#define TORNADO_RUNTIME_PAR_SIM_SUBSTRATE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "net/network.h"
+#include "runtime/sim_substrate.h"
+#include "runtime/substrate.h"
+#include "sim/cost_model.h"
+#include "sim/event_loop.h"
+
+namespace tornado {
+
+class ParSimSubstrate;
+
+/// Clock of the parallel simulation. During a window slice each worker
+/// thread reads its own shard's loop clock (so trace stamps taken inside
+/// node handlers carry the handler's exact virtual time); outside a
+/// slice — on the driver thread, at barriers — it reads the global loop,
+/// which all shard loops agree with at every barrier.
+class ParClock final : public Clock {
+ public:
+  explicit ParClock(EventLoop* global_loop) : global_loop_(global_loop) {}
+
+  double now() const override {
+    EventLoop* shard = shard_loop_;
+    return shard != nullptr ? shard->now() : global_loop_->now();
+  }
+  bool is_virtual() const override { return true; }
+
+  /// Marks the calling thread as executing `loop`'s shard window
+  /// (nullptr returns to driver context). Set around every shard slice,
+  /// both on worker threads and when the driver runs a shard inline.
+  static void SetShardLoop(EventLoop* loop) { shard_loop_ = loop; }
+
+ private:
+  EventLoop* global_loop_;
+  inline static thread_local EventLoop* shard_loop_ = nullptr;
+};
+
+/// Driver-facing Transport facade of the parallel sim. Nodes themselves
+/// are bound to their owning shard's Network at registration, so the
+/// whole message hot path runs shard-local without touching this class;
+/// the facade exists for driver-context callers — cluster setup, the
+/// failure injector, samplers — and routes per-node calls to the owner
+/// instance while broadcasting failure operations to every instance
+/// (owners do the real work, mirrors update their liveness/incarnation
+/// view). All calls happen at window barriers, with every shard
+/// quiesced, so no locking is needed here.
+class ParTransport final : public Transport {
+ public:
+  explicit ParTransport(ParSimSubstrate* sub) : sub_(sub) {}
+
+  void RegisterNode(Node* node, HostId host,
+                    double speed_factor = 1.0) override;
+  void Send(NodeId src, NodeId dst, PayloadPtr payload, bool reliable) override;
+  void ScheduleOnNode(NodeId node, double delay,
+                      std::function<void()> fn) override;
+  void AddHandlerCost(double seconds) override;
+  void KillNode(NodeId id) override;
+  void RecoverNode(NodeId id) override;
+  bool IsAlive(NodeId id) const override;
+  void SetLinkDown(NodeId src, NodeId dst, bool down) override;
+  void SetNodeDelayFactor(NodeId id, double factor) override;
+  double now() const override;
+  MetricRegistry& metrics() override;
+  size_t node_count() const override { return node_owner_.size(); }
+  void set_observer(TransportObserver* observer) override;
+  int64_t InFlightCount() const override;
+  size_t InboxDepth(NodeId id) const override;
+
+  /// Shard owning `id` (nodes shard by host: `host % num_shards`).
+  uint32_t OwnerShard(NodeId id) const { return node_owner_[id]; }
+
+ private:
+  Network* Owner(NodeId id) const;
+
+  ParSimSubstrate* sub_;
+  std::vector<uint32_t> node_owner_;
+};
+
+/// The deterministic *parallel* simulation backend (docs/PARSIM.md): the
+/// cluster is sharded by host into per-worker event loops, synchronized
+/// by conservative time windows whose lookahead is the minimum
+/// cross-shard network latency, with cross-shard messages exchanged at
+/// window barriers and merged by (time, src_shard, emit_seq). Same-seed
+/// runs produce traces byte-identical to SimSubstrate at any shard
+/// count — the serial oracle is literally the num_shards == 1 instance
+/// of the same code path (tests/substrate_equivalence_test.cc).
+///
+/// Synchronization protocol: persistent worker threads (one per shard)
+/// parked on C++20 atomic wait. The driver releases a window by bumping
+/// each busy shard's `go` epoch (release store) and waits for the
+/// matching `done` epoch (acquire load), which gives the barrier its
+/// happens-before edges; between barriers a shard's loop and Network are
+/// touched only by its own thread. Shards with no events due in a window
+/// are advanced inline by the driver, and a window with a single busy
+/// shard runs inline too — so a serial-ish workload degrades to zero
+/// thread handoffs per window.
+class ParSimSubstrate final : public Substrate {
+ public:
+  ParSimSubstrate(const CostModel& cost, uint64_t base_seed,
+                  uint32_t num_shards);
+  ~ParSimSubstrate() override;
+
+  const char* name() const override { return "par_sim"; }
+  bool is_deterministic() const override { return true; }
+
+  Clock* clock() override { return &clock_; }
+  Scheduler* scheduler() override { return &scheduler_; }
+  Transport* transport() override { return &transport_; }
+
+  uint32_t num_shards() const { return num_shards_; }
+
+  /// Global (barrier) loop: failure schedules and samplers live here and
+  /// execute at window barriers with every shard quiesced.
+  EventLoop* global_loop() { return &global_loop_; }
+
+  bool RunUntil(const std::function<bool()>& pred, double timeout,
+                double check_every) override;
+  void RunFor(double seconds) override;
+
+  /// Launches the per-shard worker threads (idempotent; num_shards == 1
+  /// never launches any — every window runs inline).
+  void Start() override;
+
+  /// Joins the workers, then performs one best-effort barrier sweep that
+  /// delivers cross-shard copies still sitting in outboxes — a run ending
+  /// mid-window must drain in-flight messages, not drop them (mirrors
+  /// ThreadTransport's stop-time drain). Idempotent.
+  void Shutdown() override;
+
+ private:
+  friend class ParTransport;
+
+  struct Shard {
+    EventLoop loop;
+    std::unique_ptr<Network> net;
+    std::thread worker;
+    // Window-release protocol: the driver writes run_until, then bumps
+    // `go` to a fresh epoch (release) and waits for `done` to reach the
+    // same epoch (acquire). Only the owning worker touches loop/net
+    // between the two.
+    std::atomic<uint64_t> go{0};
+    std::atomic<uint64_t> done{0};
+    double run_until = 0.0;
+    std::atomic<bool> stop{false};
+  };
+
+  static void WorkerMain(ParSimSubstrate* self, uint32_t shard);
+
+  /// Advances the whole simulation to `target` through conservative
+  /// windows; on return every loop (shards + global) sits at `target`.
+  void AdvanceTo(double target);
+
+  /// Drains every shard's outbox, merges by (time, src_shard, emit_seq)
+  /// and injects into the owners. Barrier-only. Returns packets moved.
+  size_t InjectPending();
+
+  void RunShardsUntil(double deadline);
+  void RunShardInline(uint32_t shard, double deadline);
+  void StartWorkers();
+  void StopWorkers();
+  bool Drained();
+
+  CostModel cost_;
+  uint32_t num_shards_;
+  double window_;  // conservative window span: strictly below lookahead
+  MetricRegistry metrics_;  // shared by all shard Networks (atomics)
+  EventLoop global_loop_;
+  SimScheduler scheduler_;
+  ParClock clock_;
+  ParTransport transport_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<uint32_t> busy_;  // scratch: shards with events this window
+  uint64_t epoch_ = 0;
+  bool workers_running_ = false;
+};
+
+}  // namespace tornado
+
+#endif  // TORNADO_RUNTIME_PAR_SIM_SUBSTRATE_H_

@@ -272,7 +272,24 @@ void ThreadTransport::Worker(NodeRec* nr) {
     }
     nr->mu.Lock();
   }
+  // Stop-time drain: Send() is lossless, so messages accepted before the
+  // stop flag must still reach their handler even when the run ends
+  // mid-burst — otherwise InFlightCount never reaches zero and a sender's
+  // "accepted" contract is silently broken. One sweep over the entries
+  // present at stop: pending timers are dropped (they model future work),
+  // and so is anything enqueued *by* a drain handler — the sweep must
+  // terminate. Handlers run unlocked, exactly like the main loop.
+  std::deque<Entry> drain;
+  drain.swap(nr->queue);
   nr->mu.Unlock();
+  for (Entry& entry : drain) {
+    if (entry.timer_fn) continue;
+    delivered_counter_->fetch_add(1);
+    if (TransportObserver* obs = observer_.load()) {
+      obs->OnDeliver(entry.src, nr->node->id(), *entry.payload);
+    }
+    nr->node->OnMessage(entry.src, *entry.payload);
+  }
 }
 
 // --- ThreadSubstrate ---

@@ -1,6 +1,7 @@
 #ifndef TORNADO_SCENARIO_RUNNER_H_
 #define TORNADO_SCENARIO_RUNNER_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
@@ -37,17 +38,21 @@ class ChaosCommitRegression final : public EngineObserver {
   void OnCommit(LoopId loop, LoopEpoch epoch, VertexId vertex,
                 Iteration iteration, Iteration tau,
                 Iteration horizon) override {
-    if (!armed_ || fired_ || clock_->now() < fire_at_) return;
-    fired_ = true;
+    if (!armed_ || clock_->now() < fire_at_) return;
+    // One-shot across backends: on par_sim, commits from different shards
+    // can race to fire; exchange() lets exactly one through.
+    if (fired_.exchange(true, std::memory_order_relaxed)) return;
     checker_->OnCommit(loop, epoch, vertex, iteration, tau, horizon);
   }
 
  private:
   CheckObserver* checker_;
   const Clock* clock_;
-  // Sim backend only (the runner always builds on kSim), so plain fields.
+  // Armed once during setup (before traffic); fired is the only field
+  // written from observer context, which on the par_sim backend means
+  // shard threads.
   bool armed_ = false;
-  bool fired_ = false;
+  std::atomic<bool> fired_{false};
   double fire_at_ = 0.0;
 };
 

@@ -1,6 +1,7 @@
 #include "sim/event_loop.h"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "common/logging.h"
@@ -166,5 +167,11 @@ uint64_t EventLoop::RunUntil(double deadline) {
 }
 
 bool EventLoop::Step() { return FireNext(); }
+
+double EventLoop::NextEventTime() {
+  DropStaleTop();
+  if (heap_.empty()) return std::numeric_limits<double>::infinity();
+  return heap_.front().time;
+}
 
 }  // namespace tornado

@@ -1,5 +1,6 @@
 #include "trace/trace_recorder.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <ostream>
@@ -62,19 +63,36 @@ void WriteArgs(std::ostream& os, const TraceArgs& args) {
 
 }  // namespace
 
-TraceRecorder::TraceRecorder(const Clock* clock, size_t max_events)
-    : clock_(clock), max_events_(max_events) {}
+TraceRecorder::TraceRecorder(const Clock* clock, uint32_t lanes,
+                             size_t max_events)
+    : clock_(clock), max_events_(max_events) {
+  lanes_.resize(lanes == 0 ? 1 : lanes);
+}
 
 void TraceRecorder::SetTrackName(uint32_t track, const std::string& name) {
   track_names_[track] = name;
 }
 
+TraceRecorder::Lane& TraceRecorder::CurrentLane() {
+  if (lanes_.size() == 1) return lanes_[0];
+  // Shard lanes take their shard's index; anything else — the driver's
+  // -1, or an out-of-range id from a misconfigured backend — lands in
+  // the driver lane at the end.
+  const int32_t lane = ExecutionLane::Current();
+  if (lane >= 0 && static_cast<size_t>(lane) < lanes_.size() - 1) {
+    return lanes_[static_cast<size_t>(lane)];
+  }
+  return lanes_.back();
+}
+
 void TraceRecorder::Push(TraceEvent ev) {
-  if (events_.size() >= max_events_) {
-    ++dropped_;
+  Lane& lane = CurrentLane();
+  if (lane.events.size() >= max_events_) {
+    ++lane.dropped;
     return;
   }
-  events_.push_back(std::move(ev));
+  lane.record_ts.push_back(clock_->now());
+  lane.events.push_back(std::move(ev));
 }
 
 void TraceRecorder::Span(const char* cat, const char* name, uint32_t track,
@@ -130,9 +148,24 @@ void TraceRecorder::Flow(char phase, const char* cat, const char* name,
   Push(std::move(ev));
 }
 
+size_t TraceRecorder::size() const {
+  size_t n = 0;
+  for (const Lane& lane : lanes_) n += lane.events.size();
+  return n;
+}
+
+size_t TraceRecorder::dropped() const {
+  size_t n = 0;
+  for (const Lane& lane : lanes_) n += lane.dropped;
+  return n;
+}
+
 void TraceRecorder::Clear() {
-  events_.clear();
-  dropped_ = 0;
+  for (Lane& lane : lanes_) {
+    lane.events.clear();
+    lane.record_ts.clear();
+    lane.dropped = 0;
+  }
 }
 
 void TraceRecorder::WriteChromeTrace(std::ostream& os) const {
@@ -145,7 +178,38 @@ void TraceRecorder::WriteChromeTrace(std::ostream& os) const {
        << ",\"args\":{\"name\":\"" << Escaped(name) << "\"}}";
     first = false;
   }
-  for (const TraceEvent& ev : events_) {
+  // Canonical export order: (record time, track, lane, intra-lane order).
+  // Lane count 1 or N, serial or parallel, the same comparator runs — the
+  // canonical form is exactly what makes an N-shard run's output
+  // byte-identical to the serial run's. Record time interleaves the
+  // lanes; the *track* breaks exact-double ties (deterministic setup
+  // times, periodic timers) identically in every configuration, because
+  // a track's events are recorded by a single lane and the serial
+  // recorder sees the same (time, track) multiset; lane + lane order
+  // keep same-track events in execution order.
+  std::vector<std::pair<uint32_t, uint32_t>> merged;  // (lane, index)
+  size_t total = 0;
+  for (const Lane& lane : lanes_) total += lane.events.size();
+  merged.reserve(total);
+  for (uint32_t l = 0; l < lanes_.size(); ++l) {
+    for (uint32_t i = 0; i < lanes_[l].events.size(); ++i) {
+      merged.emplace_back(l, i);
+    }
+  }
+  std::sort(merged.begin(), merged.end(),
+            [this](const std::pair<uint32_t, uint32_t>& a,
+                   const std::pair<uint32_t, uint32_t>& b) {
+              const double ta = lanes_[a.first].record_ts[a.second];
+              const double tb = lanes_[b.first].record_ts[b.second];
+              if (ta != tb) return ta < tb;
+              const uint32_t ka = lanes_[a.first].events[a.second].track;
+              const uint32_t kb = lanes_[b.first].events[b.second].track;
+              if (ka != kb) return ka < kb;
+              if (a.first != b.first) return a.first < b.first;
+              return a.second < b.second;
+            });
+  for (const auto& [lane, index] : merged) {
+    const TraceEvent& ev = lanes_[lane].events[index];
     if (!first) os << ",\n";
     first = false;
     os << "{\"name\":\"" << Escaped(ev.name) << "\",\"cat\":\"" << ev.cat

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's docs (CI: markdown-links job).
+
+Walks every *.md file in the repository (skipping build/ and third-party
+directories), extracts inline links and validates the ones we can check
+offline:
+
+  * relative file links must resolve to an existing file or directory,
+  * fragment links (#anchor) — bare or after a file path — must match a
+    GitHub-style heading slug in the target document.
+
+External links (http/https/mailto) are not fetched; CI must stay
+deterministic and offline. Exit status is the number of broken links.
+
+Stdlib only — no pip installs in CI.
+"""
+
+import os
+import re
+import sys
+
+SKIP_DIRS = {".git", "build", "third_party", ".claude", "fuzz_repros"}
+
+# Inline markdown links: [text](target). Images share the syntax with a
+# leading bang; both are validated. Reference-style links are rare in
+# this repo and intentionally unsupported.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def heading_slug(text):
+    """GitHub's anchor algorithm, close enough for our headings: lowercase,
+    drop everything but word characters, spaces and hyphens, spaces to
+    hyphens. Inline code/emphasis markers are stripped first."""
+    text = re.sub(r"[`*_]", "", text)
+    # Drop trailing link targets in headings like "## [name](url)".
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def collect_anchors(path):
+    anchors = set()
+    counts = {}
+    in_fence = False
+    try:
+        with open(path, encoding="utf-8") as f:
+            for line in f:
+                if CODE_FENCE_RE.match(line):
+                    in_fence = not in_fence
+                    continue
+                if in_fence:
+                    continue
+                m = HEADING_RE.match(line)
+                if not m:
+                    continue
+                slug = heading_slug(m.group(2))
+                n = counts.get(slug, 0)
+                counts[slug] = n + 1
+                anchors.add(slug if n == 0 else "%s-%d" % (slug, n))
+    except OSError:
+        pass
+    return anchors
+
+
+def md_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def iter_links(path):
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            # Inline code spans often hold example syntax, not links.
+            line = re.sub(r"`[^`]*`", "", line)
+            for m in LINK_RE.finditer(line):
+                yield lineno, m.group(1)
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    anchor_cache = {}
+    broken = []
+    checked = 0
+
+    for md in sorted(md_files(root)):
+        for lineno, target in iter_links(md):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            checked += 1
+            path_part, _, fragment = target.partition("#")
+            if path_part:
+                dest = os.path.normpath(
+                    os.path.join(os.path.dirname(md), path_part))
+            else:
+                dest = md  # bare fragment: anchor in this file
+            rel = os.path.relpath(md, root)
+            if not os.path.exists(dest):
+                broken.append("%s:%d: broken link %s (no such file)"
+                              % (rel, lineno, target))
+                continue
+            if fragment and dest.endswith(".md"):
+                if dest not in anchor_cache:
+                    anchor_cache[dest] = collect_anchors(dest)
+                if fragment.lower() not in anchor_cache[dest]:
+                    broken.append("%s:%d: broken anchor %s (no heading '#%s')"
+                                  % (rel, lineno, target, fragment))
+
+    for line in broken:
+        print(line)
+    print("checked %d relative links, %d broken" % (checked, len(broken)))
+    return min(len(broken), 125)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
