@@ -12,7 +12,11 @@
 //   --smoke            scaled-down sizes for CI (seconds, not minutes)
 //   --out <path>       where to write the JSON (default BENCH_simcore.json)
 //   --check <path>     compare against a previously committed JSON and exit
-//                      non-zero if el_drain_events_per_sec regressed >30%
+//                      non-zero if el_drain_events_per_sec or any kernel_*
+//                      throughput regressed >30%. Refuses to compare when
+//                      the committed JSON was produced with different knobs
+//                      (smoke size, host core count): cross-knob numbers
+//                      measure nothing.
 //   --no-json          skip writing the JSON (just print the table)
 //   --backend=sim|par_sim|thread|both
 //                      which runtime substrate(s) drive the fig5 e2e run
@@ -23,6 +27,7 @@
 //                      e2e run is measured at shard counts 1, 2, 4, ... N
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,6 +40,8 @@
 
 #include "bench/bench_util.h"
 #include "common/logging.h"
+#include "kernel/flat_map.h"
+#include "kernel/kernels.h"
 #include "net/network.h"
 #include "sim/event_loop.h"
 #include "storage/versioned_store.h"
@@ -176,6 +183,108 @@ double BenchPagerankE2E(uint64_t tuples, SubstrateBackend backend,
   return dt;
 }
 
+// --- 6. Kernel substrate: the SoA batch kernels behind the four algo
+// programs (src/kernel/). Scatter ops/sec is the per-element throughput of
+// the algo's Scatter-side kernel under the auto-dispatched SIMD variant;
+// deltas applied/sec is the algo's OnUpdate state-delta pattern over the
+// sorted flat SoA containers; the speedup is forced-scalar time over
+// auto-dispatched time for the same reduction pass.
+struct KernelBenchResult {
+  double scatter_ops_per_sec = 0.0;
+  double deltas_per_sec = 0.0;
+  double simd_speedup = 1.0;
+};
+
+// One Scatter-side kernel pass for `algo` over n-element arrays; returns a
+// value derived from the data so the work cannot be elided.
+double KernelPass(const std::string& algo, const double* x, const double* y,
+                  double* w, size_t n) {
+  const kernel::KernelOps& ops = kernel::Kernels();
+  if (algo == "pagerank") return ops.sum(x, n);      // rank re-sum
+  if (algo == "sssp") return ops.min(x, n);          // candidate min
+  if (algo == "kmeans") return ops.sqdist(x, y, n);  // distance scan
+  ops.sgd_step(w, x, 64.0, 1e-3, 1e-4, n);           // descent step
+  return w[0];
+}
+
+// The gather side: the algo's per-delta state mutation over SoA state.
+double BenchKernelDeltas(const std::string& algo, uint64_t deltas,
+                         const std::vector<double>& x) {
+  const kernel::KernelOps& ops = kernel::Kernels();
+  const size_t n = x.size();
+  double t0 = 0.0;
+  if (algo == "kmeans") {
+    // Point-delta folds: axpy into a cluster's running coordinate sums.
+    FlatMap<uint32_t, std::vector<double>, 8> sums;
+    for (uint32_t k = 0; k < 10; ++k) sums[k].assign(20, 0.0);
+    t0 = WallNow();
+    for (uint64_t i = 0; i < deltas; ++i) {
+      std::vector<double>& s = sums.at_index(Mix(i) % 10);
+      ops.axpy(s.data(), (i & 1) ? 1.0 : -1.0, x.data(), 20);
+    }
+  } else if (algo == "sgd") {
+    // Mini-batch gradient applies against a dense weight vector.
+    std::vector<double> weights(28, 0.0);
+    t0 = WallNow();
+    for (uint64_t i = 0; i < deltas; ++i) {
+      ops.sgd_step(weights.data(), x.data(), 64.0, 1e-6, 1e-4,
+                   weights.size());
+    }
+    TCHECK(std::isfinite(weights[0]));
+  } else {
+    // pagerank / sssp: producer-keyed upserts with occasional retraction,
+    // over a bounded producer working set (bench-graph in-degrees are
+    // small).
+    FlatMap<VertexId, double, 8> m;
+    t0 = WallNow();
+    for (uint64_t i = 0; i < deltas; ++i) {
+      const VertexId src = Mix(i) % 64;
+      if (algo == "sssp" && Mix(i + 3) % 16 == 0) {
+        m.erase(src);
+        continue;
+      }
+      auto [it, inserted] = m.emplace(src, x[i & (n - 1)]);
+      if (!inserted) it->second = x[i & (n - 1)];
+    }
+  }
+  return static_cast<double>(deltas) / (WallNow() - t0);
+}
+
+KernelBenchResult BenchKernelAlgo(const std::string& algo, uint64_t reps,
+                                  uint64_t deltas, size_t n) {
+  std::vector<double> x(n), y(n), w(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = 1e-3 * static_cast<double>(1 + Mix(i) % 1000);
+    y[i] = 1e-3 * static_cast<double>(1 + Mix(i + 7) % 1000);
+  }
+
+  double sink = 0.0;
+  double t0 = WallNow();
+  for (uint64_t r = 0; r < reps; ++r) {
+    sink += KernelPass(algo, x.data(), y.data(), w.data(), n);
+  }
+  const double active_dt = WallNow() - t0;
+
+  // Forced-scalar reference for the speedup column.
+  const kernel::KernelVariant active = kernel::ActiveKernelVariant();
+  TCHECK(kernel::SetKernelVariant(kernel::KernelVariant::kScalar));
+  std::fill(w.begin(), w.end(), 0.0);
+  t0 = WallNow();
+  for (uint64_t r = 0; r < reps; ++r) {
+    sink += KernelPass(algo, x.data(), y.data(), w.data(), n);
+  }
+  const double scalar_dt = WallNow() - t0;
+  TCHECK(kernel::SetKernelVariant(active));
+  TCHECK(std::isfinite(sink));
+
+  KernelBenchResult r;
+  r.scatter_ops_per_sec =
+      static_cast<double>(reps) * static_cast<double>(n) / active_dt;
+  r.simd_speedup = scalar_dt / active_dt;
+  r.deltas_per_sec = BenchKernelDeltas(algo, deltas, x);
+  return r;
+}
+
 // Minimal extractor for the flat JSON this bench writes: finds
 // "<key>": <number> and returns the number (0.0 when absent).
 double JsonNumber(const std::string& text, const std::string& key) {
@@ -225,6 +334,9 @@ int Main(int argc, char** argv) {
   const uint64_t kReads = smoke ? 400000 : 2000000;
   const uint64_t kMsgs = smoke ? 20000 : 60000;
   const uint64_t kTuples = smoke ? 4000 : 8000;
+  const uint64_t kKernelReps = smoke ? 20000 : 100000;
+  const uint64_t kKernelDeltas = smoke ? 500000 : 2000000;
+  const size_t kKernelLen = 1024;  // power of two (indexing masks below)
 
   const double el_drain = BenchEventLoopDrain(kDrainN);
   const double el_churn = BenchEventLoopChurn(kChurnN);
@@ -240,6 +352,13 @@ int Main(int argc, char** argv) {
       pagerank_wall_par.push_back(
           BenchPagerankE2E(kTuples, SubstrateBackend::kParSim, shards));
     }
+  }
+  const std::vector<std::string> kKernelAlgos = {"pagerank", "sssp", "kmeans",
+                                                 "sgd"};
+  std::vector<KernelBenchResult> kernels;
+  for (const std::string& algo : kKernelAlgos) {
+    kernels.push_back(
+        BenchKernelAlgo(algo, kKernelReps, kKernelDeltas, kKernelLen));
   }
 
   Table table({"microbench", "metric", "value"});
@@ -262,13 +381,38 @@ int Main(int argc, char** argv) {
                       std::to_string(shard_curve[i]) + " shards)",
                   "wall seconds", Table::Num(pagerank_wall_par[i], 2)});
   }
+  const std::string variant =
+      kernel::KernelVariantName(kernel::ActiveKernelVariant());
+  for (size_t i = 0; i < kKernelAlgos.size(); ++i) {
+    table.AddRow({"kernel " + kKernelAlgos[i] + " (" + variant + ")",
+                  "scatter ops/sec",
+                  Table::Num(kernels[i].scatter_ops_per_sec, 0)});
+    table.AddRow({"kernel " + kKernelAlgos[i], "deltas applied/sec",
+                  Table::Num(kernels[i].deltas_per_sec, 0)});
+    table.AddRow({"kernel " + kKernelAlgos[i], "speedup vs scalar",
+                  Table::Num(kernels[i].simd_speedup, 2)});
+  }
   table.Print();
+
+  // The full knob set is written on every run (and checked by --check):
+  // mixing results produced under different knobs — a smoke-sized run
+  // checked against a full-sized baseline, or a different host profile —
+  // silently compares incomparable numbers.
+  const struct {
+    const char* key;
+    double value;
+  } knob_set[] = {
+      {"smoke", smoke ? 1.0 : 0.0},
+      {"drain_events", static_cast<double>(kDrainN)},
+      {"net_messages", static_cast<double>(kMsgs)},
+      {"host_cores",
+       static_cast<double>(std::thread::hardware_concurrency())},
+  };
 
   if (write_json) {
     BenchJson json("simcore");
-    json.AddKnob("smoke", smoke ? 1.0 : 0.0);
-    json.AddKnob("drain_events", static_cast<double>(kDrainN));
-    json.AddKnob("net_messages", static_cast<double>(kMsgs));
+    for (const auto& knob : knob_set) json.AddKnob(knob.key, knob.value);
+    json.AddKnob("kernel_variant", variant);
     json.AddResult("el_drain_events_per_sec", el_drain);
     json.AddResult("el_churn_ops_per_sec", el_churn);
     json.AddResult("store_ops_per_sec", store_ops);
@@ -282,16 +426,23 @@ int Main(int argc, char** argv) {
     }
     if (run_par) {
       // Scaling curve of the parallel sim. Interpretation requires the
-      // host_cores knob: windows run concurrently only when real cores
-      // back the shard workers, so on a single-core host the curve is
-      // flat-to-worse (barrier overhead, no parallelism) by construction.
-      json.AddKnob("host_cores",
-                   static_cast<double>(std::thread::hardware_concurrency()));
+      // host_cores knob (always written, above): windows run concurrently
+      // only when real cores back the shard workers, so on a single-core
+      // host the curve is flat-to-worse (barrier overhead, no parallelism)
+      // by construction.
       for (size_t i = 0; i < pagerank_wall_par.size(); ++i) {
         json.AddResult("pagerank_e2e_wall_seconds_par_sim_shards_" +
                            std::to_string(shard_curve[i]),
                        pagerank_wall_par[i]);
       }
+    }
+    for (size_t i = 0; i < kKernelAlgos.size(); ++i) {
+      json.AddResult("kernel_scatter_ops_per_sec_" + kKernelAlgos[i],
+                     kernels[i].scatter_ops_per_sec);
+      json.AddResult("kernel_deltas_per_sec_" + kKernelAlgos[i],
+                     kernels[i].deltas_per_sec);
+      json.AddResult("kernel_simd_speedup_" + kKernelAlgos[i],
+                     kernels[i].simd_speedup);
     }
     // Pre-overhaul ("before") numbers: the map/priority-queue event loop,
     // per-message retransmit timers, and std::map version chains, measured
@@ -318,8 +469,24 @@ int Main(int argc, char** argv) {
     }
     std::stringstream buf;
     buf << in.rdbuf();
+    const std::string baseline = buf.str();
+
+    // Refuse cross-knob comparisons outright.
+    for (const auto& knob : knob_set) {
+      const double committed_knob = JsonNumber(baseline, knob.key);
+      if (committed_knob != knob.value) {
+        std::fprintf(stderr,
+                     "FAIL: knob %s mismatch (baseline %g, this run %g); "
+                     "refusing to compare results produced under different "
+                     "knobs — regenerate %s on this host first\n",
+                     knob.key, committed_knob, knob.value,
+                     check_path.c_str());
+        return 1;
+      }
+    }
+
     const double committed =
-        JsonNumber(buf.str(), "el_drain_events_per_sec");
+        JsonNumber(baseline, "el_drain_events_per_sec");
     if (committed <= 0.0) {
       std::fprintf(stderr, "baseline %s has no el_drain_events_per_sec\n",
                    check_path.c_str());
@@ -328,12 +495,40 @@ int Main(int argc, char** argv) {
     const double ratio = el_drain / committed;
     std::printf("perf check: %.0f events/sec vs committed %.0f (%.0f%%)\n",
                 el_drain, committed, ratio * 100.0);
+    bool failed = false;
     if (ratio < 0.7) {
       std::fprintf(stderr,
                    "FAIL: event-loop drain regressed >30%% vs %s\n",
                    check_path.c_str());
-      return 1;
+      failed = true;
     }
+    for (size_t i = 0; i < kKernelAlgos.size(); ++i) {
+      const struct {
+        const char* what;
+        std::string key;
+        double current;
+      } checks[] = {
+          {"scatter", "kernel_scatter_ops_per_sec_" + kKernelAlgos[i],
+           kernels[i].scatter_ops_per_sec},
+          {"deltas", "kernel_deltas_per_sec_" + kKernelAlgos[i],
+           kernels[i].deltas_per_sec},
+      };
+      for (const auto& check : checks) {
+        const double committed_k = JsonNumber(baseline, check.key);
+        if (committed_k <= 0.0) continue;  // baseline predates the kernels
+        const double kernel_ratio = check.current / committed_k;
+        std::printf("perf check: %s %s %.0f/sec vs committed %.0f (%.0f%%)\n",
+                    kKernelAlgos[i].c_str(), check.what, check.current,
+                    committed_k, kernel_ratio * 100.0);
+        if (kernel_ratio < 0.7) {
+          std::fprintf(stderr, "FAIL: kernel %s %s regressed >30%% vs %s\n",
+                       kKernelAlgos[i].c_str(), check.what,
+                       check_path.c_str());
+          failed = true;
+        }
+      }
+    }
+    if (failed) return 1;
   }
   return 0;
 }

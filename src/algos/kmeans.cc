@@ -1,9 +1,11 @@
 #include "algos/kmeans.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "kernel/kernels.h"
 
 namespace tornado {
 
@@ -11,9 +13,7 @@ namespace {
 constexpr int kCentroidPosition = 0;  // centroid -> shard
 constexpr int kPartialSums = 1;       // shard -> centroid
 
-void PutSums(
-    BufferWriter* w,
-    const std::map<uint32_t, std::pair<std::vector<double>, uint64_t>>& m) {
+void PutSums(BufferWriter* w, const KMeansSums& m) {
   w->PutVarint(m.size());
   for (const auto& [k, sums] : m) {
     w->PutVarint(k);
@@ -22,9 +22,7 @@ void PutSums(
   }
 }
 
-void GetSums(
-    BufferReader* r,
-    std::map<uint32_t, std::pair<std::vector<double>, uint64_t>>* m) {
+void GetSums(BufferReader* r, KMeansSums* m) {
   uint64_t n = 0;
   TCHECK(r->GetVarint(&n).ok());
   for (uint64_t i = 0; i < n; ++i) {
@@ -38,10 +36,8 @@ void GetSums(
 }
 
 double Distance2(const std::vector<double>& a, const std::vector<double>& b) {
-  double d = 0.0;
   const size_t n = std::min(a.size(), b.size());
-  for (size_t i = 0; i < n; ++i) d += (a[i] - b[i]) * (a[i] - b[i]);
-  return d;
+  return kernel::Kernels().sqdist(a.data(), b.data(), n);
 }
 }  // namespace
 
@@ -264,19 +260,17 @@ void KMeansProgram::CentroidScatter(VertexContext& ctx) const {
   auto& state = static_cast<KMeansCentroidState&>(*ctx.state());
 
   // New position: mean of all assigned points (if any).
+  const auto& ops = kernel::Kernels();
   uint64_t total = 0;
   std::vector<double> sums(options_.dimensions, 0.0);
   for (const auto& [shard, partial] : state.partial_sums) {
     total += partial.second;
-    for (uint32_t d = 0; d < options_.dimensions && d < partial.first.size();
-         ++d) {
-      sums[d] += partial.first[d];
-    }
+    ops.add(sums.data(), partial.first.data(),
+            std::min<size_t>(options_.dimensions, partial.first.size()));
   }
   if (total > 0) {
-    for (uint32_t d = 0; d < options_.dimensions; ++d) {
-      state.position[d] = sums[d] / static_cast<double>(total);
-    }
+    ops.scale_div(state.position.data(), sums.data(),
+                  static_cast<double>(total), options_.dimensions);
   }
 
   const bool kick = !ctx.is_main_loop() && !state.branch_kicked;
@@ -340,8 +334,9 @@ void KMeansProgram::OnRestore(VertexState* state) const {
     return;
   }
   auto& shard = static_cast<KMeansShardState&>(*state);
-  for (auto& [k, sent] : shard.last_sent) {
-    sent.second = ~0ULL;  // impossible count: forces re-emission
+  for (size_t i = 0; i < shard.last_sent.size(); ++i) {
+    // Impossible count: forces re-emission.
+    shard.last_sent.at_index(i).second = ~0ULL;
   }
 }
 
@@ -381,9 +376,9 @@ void KMeansProgram::AddPointToSums(KMeansShardState* state, uint32_t centroid,
   if (entry.first.size() < options_.dimensions) {
     entry.first.resize(options_.dimensions, 0.0);
   }
-  for (uint32_t d = 0; d < options_.dimensions && d < point.size(); ++d) {
-    entry.first[d] += sign * point[d];
-  }
+  kernel::Kernels().axpy(entry.first.data(), static_cast<double>(sign),
+                         point.data(),
+                         std::min<size_t>(options_.dimensions, point.size()));
   if (sign > 0) {
     ++entry.second;
   } else if (entry.second > 0) {

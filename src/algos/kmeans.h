@@ -2,11 +2,12 @@
 #define TORNADO_ALGOS_KMEANS_H_
 
 #include <cstdint>
-#include <map>
+#include <utility>
 #include <vector>
 
 #include "core/config.h"
 #include "core/vertex_program.h"
+#include "kernel/flat_map.h"
 
 namespace tornado {
 
@@ -39,11 +40,15 @@ struct KMeansOptions {
   uint64_t seed = 99;
 };
 
-/// Per-centroid state.
+/// Per-shard aggregate: (coordinate sums, point count).
+using KMeansSums = FlatMap<uint32_t, std::pair<std::vector<double>, uint64_t>, 8>;
+
+/// Per-centroid state. Hot containers are sorted flat SoA maps
+/// (kernel/flat_map.h); iteration — and wire — order matches the std::map
+/// layout they replaced.
 struct KMeansCentroidState : VertexState {
   std::vector<double> position;
-  std::map<uint32_t, std::pair<std::vector<double>, uint64_t>>
-      partial_sums;  // shard -> (coordinate sums, count)
+  KMeansSums partial_sums;  // shard -> (coordinate sums, count)
   std::vector<double> last_emitted;
   bool branch_kicked = false;
 
@@ -52,12 +57,12 @@ struct KMeansCentroidState : VertexState {
 
 /// Per-shard state.
 struct KMeansShardState : VertexState {
-  std::map<uint64_t, std::vector<double>> points;
-  std::map<uint64_t, uint32_t> assignment;  // point -> centroid index
-  std::map<uint32_t, std::vector<double>> centroid_pos;
+  FlatMap<uint64_t, std::vector<double>, 8> points;
+  FlatMap<uint64_t, uint32_t, 8> assignment;  // point -> centroid index
+  FlatMap<uint32_t, std::vector<double>, 8> centroid_pos;
   // Running per-centroid aggregates of this shard's points.
-  std::map<uint32_t, std::pair<std::vector<double>, uint64_t>> sums;
-  std::map<uint32_t, std::pair<std::vector<double>, uint64_t>> last_sent;
+  KMeansSums sums;
+  KMeansSums last_sent;
   bool targets_added = false;
 
   void Serialize(BufferWriter* writer) const override;
@@ -72,7 +77,11 @@ struct KMeansShardState : VertexState {
 /// by the rescan, not by the approximation error — reproducing the
 /// paper's observation that KMeans does not profit from the main-loop
 /// approximation the way SSSP/PageRank do.
-class KMeansProgram : public VertexProgram {
+///
+/// Opts into the batch gather path (default replay: OnUpdate carries its
+/// own cost accounting); distance scans and aggregate folds run on the
+/// SIMD kernels.
+class KMeansProgram : public BatchVertexProgram {
  public:
   explicit KMeansProgram(KMeansOptions options) : options_(options) {}
 

@@ -4,11 +4,23 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "kernel/kernels.h"
 
 namespace tornado {
 
 namespace {
 constexpr int kContribution = 0;
+
+/// Upserts one contribution; returns whether the stored set changed.
+bool ApplyContribution(PageRankState* state, VertexId source, double value) {
+  if (value == 0.0) return state->contributions.erase(source) > 0;
+  auto [it, inserted] = state->contributions.emplace(source, value);
+  if (inserted) return true;
+  if (it->second == value) return false;
+  it->second = value;
+  return true;
+}
+
 }  // namespace
 
 void PageRankState::Serialize(BufferWriter* writer) const {
@@ -32,9 +44,10 @@ void PageRankState::Serialize(BufferWriter* writer) const {
 }
 
 double PageRankState::Recompute(double damping) {
-  double sum = 0.0;
-  for (const auto& [src, value] : contributions) sum += value;
+  const double sum = kernel::Kernels().sum(contributions.values_data(),
+                                           contributions.size());
   rank = (1.0 - damping) + damping * sum;
+  rank_stale = false;
   return rank;
 }
 
@@ -46,6 +59,10 @@ std::unique_ptr<VertexState> PageRankProgram::CreateState(VertexId id) const {
 std::unique_ptr<VertexState> PageRankProgram::DeserializeState(
     BufferReader* reader) const {
   auto state = std::make_unique<PageRankState>();
+  // Defensive: re-derive the rank from contributions on the first Scatter
+  // after a load; for a state serialized post-Scatter this recomputes the
+  // identical value.
+  state->rank_stale = true;
   TCHECK(reader->GetDouble(&state->rank).ok());
   uint64_t n = 0;
   TCHECK(reader->GetVarint(&n).ok());
@@ -103,30 +120,44 @@ bool PageRankProgram::OnUpdate(VertexContext& ctx, VertexId source,
   (void)iteration;
   TCHECK_EQ(update.kind, kContribution);
   auto& state = static_cast<PageRankState&>(*ctx.state());
-  const double value = update.values[0];
-  bool changed;
-  if (value == 0.0) {
-    changed = state.contributions.erase(source) > 0;
-  } else {
-    auto [it, inserted] = state.contributions.emplace(source, value);
-    changed = inserted || it->second != value;
-    it->second = value;
-  }
-  state.Recompute(damping_);
+  const bool changed = ApplyContribution(&state, source, update.values[0]);
+  // The re-sum is memoized: Scatter recomputes once per commit instead of
+  // the legacy full contribution walk on every gathered delta.
+  if (changed) state.rank_stale = true;
   return changed;
+}
+
+bool PageRankProgram::OnUpdateBatch(VertexContext& ctx,
+                                    const QueuedUpdate* items, size_t n,
+                                    double per_item_cost) const {
+  auto& state = static_cast<PageRankState&>(*ctx.state());
+  bool changed_any = false;
+  for (size_t i = 0; i < n; ++i) {
+    TCHECK_EQ(items[i].update->kind, kContribution);
+    if (ApplyContribution(&state, items[i].source,
+                          items[i].update->values[0])) {
+      changed_any = true;
+    }
+    ctx.AddCost(per_item_cost);
+  }
+  if (changed_any) state.rank_stale = true;
+  return changed_any;
 }
 
 void PageRankProgram::OnRestore(VertexState* state) const {
   auto& pr = static_cast<PageRankState&>(*state);
-  for (auto& [target, sent] : pr.last_sent) {
-    sent = std::numeric_limits<double>::quiet_NaN();  // force re-emission
+  for (size_t i = 0; i < pr.last_sent.size(); ++i) {
+    // Force re-emission of every target's value.
+    pr.last_sent.at_index(i) = std::numeric_limits<double>::quiet_NaN();
   }
 }
 
 void PageRankProgram::Scatter(VertexContext& ctx) const {
   auto& state = static_cast<PageRankState&>(*ctx.state());
+  // Progress is how far the rank moved since the previous commit refreshed
+  // it (exactly +0.0 when no contribution changed — the memoized case).
   const double before = state.rank;
-  state.Recompute(damping_);
+  state.EnsureRank(damping_);
   ctx.AddProgress(std::fabs(state.rank - before));
 
   for (VertexId target : ctx.targets()) {

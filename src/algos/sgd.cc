@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "kernel/kernels.h"
 
 namespace tornado {
 
@@ -199,8 +200,7 @@ double SgdProgram::Objective(SgdLoss loss, double regularization,
   for (const SgdInstance& inst : instances) {
     total += InstanceLoss(loss, w, inst);
   }
-  double norm2 = 0.0;
-  for (double x : w) norm2 += x * x;
+  const double norm2 = kernel::Kernels().dot(w.data(), w.data(), w.size());
   return total / static_cast<double>(instances.size()) +
          0.5 * regularization * norm2;
 }
@@ -301,11 +301,10 @@ bool SgdProgram::ParamUpdate(VertexContext& ctx, VertexId source,
     // (fine-grained asynchronous updates are the whole point of the
     // bounded asynchronous model).
     if (count > 0 && !options_.batch_mode) {
-      for (uint32_t d = 0; d < options_.dimensions && d < grad.size(); ++d) {
-        state.weights[d] -=
-            state.rate * (grad[d] / static_cast<double>(count) +
-                          options_.regularization * state.weights[d]);
-      }
+      kernel::Kernels().sgd_step(
+          state.weights.data(), grad.data(), static_cast<double>(count),
+          state.rate, options_.regularization,
+          std::min<size_t>(options_.dimensions, grad.size()));
       state.steps++;
     }
   } else {
@@ -341,9 +340,8 @@ void SgdProgram::ParamScatter(VertexContext& ctx) const {
       const uint64_t count =
           loss == state.partial_loss.end() ? 0 : loss->second.second;
       total += count;
-      for (uint32_t d = 0; d < options_.dimensions && d < grad.size(); ++d) {
-        combined[d] += grad[d];
-      }
+      kernel::Kernels().add(combined.data(), grad.data(),
+                            std::min<size_t>(options_.dimensions, grad.size()));
     }
     if (total > 0) {
       // 1/t decay guarantees convergence of the branch's full-batch
@@ -374,8 +372,8 @@ void SgdProgram::ParamScatter(VertexContext& ctx) const {
       count += loss.second;
     }
     if (count > 0) {
-      double norm2 = 0.0;
-      for (double x : state.weights) norm2 += x * x;
+      const double norm2 = kernel::Kernels().dot(
+          state.weights.data(), state.weights.data(), state.weights.size());
       const double objective = loss_sum / static_cast<double>(count) +
                                0.5 * options_.regularization * norm2;
       // Mini-batch objective estimates are noisy; compare against an
@@ -412,10 +410,8 @@ void SgdProgram::ParamScatter(VertexContext& ctx) const {
 
   double moved2 = 0.0;
   if (state.last_emitted.size() == state.weights.size()) {
-    for (size_t d = 0; d < state.weights.size(); ++d) {
-      const double diff = state.weights[d] - state.last_emitted[d];
-      moved2 += diff * diff;
-    }
+    moved2 = kernel::Kernels().sqdist(
+        state.weights.data(), state.last_emitted.data(), state.weights.size());
   }
   const bool first = state.last_emitted.empty();
   if (kick || first ||

@@ -2,12 +2,12 @@
 #define TORNADO_ALGOS_SGD_H_
 
 #include <cstdint>
-#include <map>
 #include <utility>
 #include <vector>
 
 #include "core/config.h"
 #include "core/vertex_program.h"
+#include "kernel/flat_map.h"
 #include "stream/reservoir.h"
 
 namespace tornado {
@@ -76,15 +76,17 @@ struct SgdInstance {
 
 /// Parameter-vertex state: the model, the adaptive descent rate, and the
 /// latest partial gradients per shard (used by branch loops, which run
-/// deterministic full-reservoir gradient descent).
+/// deterministic full-reservoir gradient descent). Shard-keyed containers
+/// are sorted flat SoA maps (kernel/flat_map.h); iteration — and wire —
+/// order matches the std::map layout they replaced.
 struct SgdParamState : VertexState {
   std::vector<double> weights;
   double rate = 0.1;
   double last_objective = -1.0;
   uint64_t steps = 0;
   uint64_t branch_steps = 0;  // full-batch GD steps taken in this branch
-  std::map<uint32_t, std::vector<double>> partial_grads;
-  std::map<uint32_t, std::pair<double, uint64_t>> partial_loss;
+  FlatMap<uint32_t, std::vector<double>, 8> partial_grads;
+  FlatMap<uint32_t, std::pair<double, uint64_t>, 8> partial_loss;
   std::vector<double> last_emitted;
   bool branch_kicked = false;
   bool targets_added = false;
@@ -116,7 +118,11 @@ struct SgdShardState : VertexState {
 /// Branch loops: deterministic gradient descent over the full reservoirs,
 /// starting from the main loop's model, run to convergence under the
 /// epsilon policy.
-class SgdProgram : public VertexProgram {
+///
+/// Opts into the batch gather path (default replay: ParamUpdate carries
+/// its own cost accounting); dense weight-vector arithmetic runs on the
+/// SIMD kernels.
+class SgdProgram : public BatchVertexProgram {
  public:
   explicit SgdProgram(SgdOptions options) : options_(options) {}
 

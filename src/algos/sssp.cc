@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "kernel/kernels.h"
 
 namespace tornado {
 
@@ -11,7 +12,7 @@ constexpr int kDistanceUpdate = 0;
 
 /// Doubles survive raw round-trips including infinity, but map keys do not
 /// need that care; serialize pairs directly.
-void PutDoubleMap(BufferWriter* w, const std::map<VertexId, double>& m) {
+void PutDoubleMap(BufferWriter* w, const FlatMap<VertexId, double, 8>& m) {
   w->PutVarint(m.size());
   for (const auto& [k, v] : m) {
     w->PutVarint(k);
@@ -19,7 +20,7 @@ void PutDoubleMap(BufferWriter* w, const std::map<VertexId, double>& m) {
   }
 }
 
-bool GetDoubleMap(BufferReader* r, std::map<VertexId, double>* m) {
+bool GetDoubleMap(BufferReader* r, FlatMap<VertexId, double, 8>* m) {
   uint64_t n = 0;
   if (!r->GetVarint(&n).ok()) return false;
   for (uint64_t i = 0; i < n; ++i) {
@@ -44,11 +45,13 @@ void SsspState::Serialize(BufferWriter* writer) const {
 }
 
 double SsspState::Recompute(bool is_source) {
-  double best = is_source ? 0.0 : kSsspInfinity;
-  for (const auto& [producer, candidate] : candidates) {
-    best = std::min(best, candidate);
-  }
+  // Min is an exact (order-insensitive) reduction, so the kernel's lane
+  // order gives bit-identical results to the old sequential walk.
+  double best = kernel::Kernels().min(candidates.values_data(),
+                                      candidates.size());
+  if (is_source && !(0.0 > best)) best = 0.0;
   length = best;
+  length_stale = false;
   return length;
 }
 
@@ -61,6 +64,10 @@ std::unique_ptr<VertexState> SsspProgram::CreateState(VertexId id) const {
 std::unique_ptr<VertexState> SsspProgram::DeserializeState(
     BufferReader* reader) const {
   auto state = std::make_unique<SsspState>();
+  // Defensive: re-derive the length from candidates on the first Scatter
+  // after a load; for a state serialized post-Scatter this recomputes the
+  // identical value.
+  state->length_stale = true;
   TCHECK(reader->GetDouble(&state->length).ok());
   uint64_t n = 0;
   TCHECK(reader->GetVarint(&n).ok());
@@ -102,31 +109,53 @@ bool SsspProgram::OnInput(VertexContext& ctx, const Delta& delta) const {
   return changed;
 }
 
+bool SsspProgram::ApplyCandidate(SsspState* state, VertexId source,
+                                 const VertexUpdate& update) const {
+  TCHECK_EQ(update.kind, kDistanceUpdate);
+  TCHECK_EQ(update.values.size(), 1u);
+  const double candidate = update.values[0];
+  if (candidate >= max_distance_) {
+    // Path through `source` retracted.
+    return state->candidates.erase(source) > 0;
+  }
+  auto [it, inserted] = state->candidates.emplace(source, candidate);
+  if (inserted) return true;
+  if (it->second == candidate) return false;
+  it->second = candidate;
+  return true;
+}
+
 bool SsspProgram::OnUpdate(VertexContext& ctx, VertexId source,
                            Iteration iteration,
                            const VertexUpdate& update) const {
   (void)iteration;
-  TCHECK_EQ(update.kind, kDistanceUpdate);
-  TCHECK_EQ(update.values.size(), 1u);
   auto& state = static_cast<SsspState&>(*ctx.state());
-  const double candidate = update.values[0];
-  bool changed;
-  if (candidate >= max_distance_) {
-    // Path through `source` retracted.
-    changed = state.candidates.erase(source) > 0;
-  } else {
-    auto [it, inserted] = state.candidates.emplace(source, candidate);
-    changed = inserted || it->second != candidate;
-    it->second = candidate;
-  }
-  state.Recompute(ctx.id() == source_);
+  const bool changed = ApplyCandidate(&state, source, update);
+  // The min re-reduction is memoized: Scatter recomputes once per commit
+  // instead of the legacy full candidate walk on every gathered delta.
+  if (changed) state.length_stale = true;
   return changed;
+}
+
+bool SsspProgram::OnUpdateBatch(VertexContext& ctx, const QueuedUpdate* items,
+                                size_t n, double per_item_cost) const {
+  auto& state = static_cast<SsspState&>(*ctx.state());
+  bool changed_any = false;
+  for (size_t i = 0; i < n; ++i) {
+    if (ApplyCandidate(&state, items[i].source, *items[i].update)) {
+      changed_any = true;
+    }
+    ctx.AddCost(per_item_cost);
+  }
+  if (changed_any) state.length_stale = true;
+  return changed_any;
 }
 
 void SsspProgram::OnRestore(VertexState* state) const {
   auto& sssp = static_cast<SsspState&>(*state);
-  for (auto& [target, sent] : sssp.last_sent) {
-    sent = std::numeric_limits<double>::quiet_NaN();  // != any candidate
+  for (size_t i = 0; i < sssp.last_sent.size(); ++i) {
+    sssp.last_sent.at_index(i) =
+        std::numeric_limits<double>::quiet_NaN();  // != any candidate
   }
 }
 
@@ -134,7 +163,7 @@ void SsspProgram::Scatter(VertexContext& ctx) const {
   auto& state = static_cast<SsspState&>(*ctx.state());
   if (batch_mode_ && ctx.is_main_loop()) return;
 
-  state.Recompute(ctx.id() == source_);
+  state.EnsureLength(ctx.id() == source_);
 
   uint64_t changed = 0;
   for (VertexId target : ctx.targets()) {

@@ -2,38 +2,53 @@
 #define TORNADO_ALGOS_SSSP_H_
 
 #include <limits>
-#include <map>
 #include <vector>
 
 #include "core/vertex_program.h"
+#include "kernel/flat_map.h"
 
 namespace tornado {
 
 inline constexpr double kSsspInfinity =
     std::numeric_limits<double>::infinity();
 
-/// Per-vertex state of the single-source shortest-path program.
+/// Per-vertex state of the single-source shortest-path program. Hot
+/// containers are sorted flat SoA maps (kernel/flat_map.h); iteration
+/// order — and the serialized wire format — is identical to the std::map
+/// layout this replaced, and the contiguous candidate array feeds the
+/// SIMD min kernel.
 struct SsspState : VertexState {
   /// Current shortest distance from the source (0 at the source itself).
   double length = kSsspInfinity;
 
   /// Outgoing edges: target -> multiset of weights (the stream is a
   /// multigraph; parallel edges arrive and retract independently).
-  std::map<VertexId, std::vector<double>> out_edges;
+  FlatMap<VertexId, std::vector<double>, 4> out_edges;
 
   /// Candidate distances received from producers: producer -> length
   /// through that producer (already including the edge weight). Keeping
   /// all candidates makes retractions (edge deletions, Appendix B's
   /// REMOVE_TARGET) converge to the correct, possibly larger, distance.
-  std::map<VertexId, double> candidates;
+  FlatMap<VertexId, double, 8> candidates;
 
   /// Last value emitted to each target, to suppress no-op re-emissions.
-  std::map<VertexId, double> last_sent;
+  FlatMap<VertexId, double, 8> last_sent;
+
+  /// True when `candidates` changed since `length` was last recomputed.
+  /// In-memory memo only — never serialized: states persist at commit,
+  /// after Scatter refreshed the length.
+  bool length_stale = false;
 
   void Serialize(BufferWriter* writer) const override;
 
-  /// Recomputes `length` from the candidate set; returns it.
+  /// Unconditionally recomputes `length` from the candidate set (kernel
+  /// min reduction); returns it. EnsureLength is the memoized entry point.
   double Recompute(bool is_source);
+
+  double EnsureLength(bool is_source) {
+    if (length_stale) Recompute(is_source);
+    return length;
+  }
 };
 
 /// Weighted single-source shortest paths over a retractable edge stream —
@@ -48,7 +63,10 @@ struct SsspState : VertexState {
 /// Appendix B's doBatchProcessing — so branch loops start from the default
 /// initial guess; the delay-bound and fault-tolerance experiments use this
 /// to study pure branch-loop behaviour.
-class SsspProgram : public VertexProgram {
+///
+/// Opts into the batch gather path: a run of queued candidate updates is
+/// applied in one pass and the min re-reduction is deferred to Scatter.
+class SsspProgram : public BatchVertexProgram {
  public:
   /// `max_distance` caps propagated distances: candidates at or above it
   /// are treated as unreachable. This bounds the count-to-infinity rounds
@@ -66,6 +84,8 @@ class SsspProgram : public VertexProgram {
   bool OnInput(VertexContext& ctx, const Delta& delta) const override;
   bool OnUpdate(VertexContext& ctx, VertexId source, Iteration iteration,
                 const VertexUpdate& update) const override;
+  bool OnUpdateBatch(VertexContext& ctx, const QueuedUpdate* items, size_t n,
+                     double per_item_cost) const override;
   void Scatter(VertexContext& ctx) const override;
 
   /// Forces every remembered emission to be re-sent on the next Scatter —
@@ -83,6 +103,10 @@ class SsspProgram : public VertexProgram {
   VertexId source() const { return source_; }
 
  private:
+  /// Upserts one candidate; returns whether the candidate set changed.
+  bool ApplyCandidate(SsspState* state, VertexId source,
+                      const VertexUpdate& update) const;
+
   VertexId source_;
   bool batch_mode_;
   double max_distance_;

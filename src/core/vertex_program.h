@@ -122,6 +122,55 @@ class VertexProgram {
   /// weight (e.g. KMeans distance scans).
   virtual double GatherCost() const { return 0.0; }
   virtual double ScatterCost() const { return 0.0; }
+
+  /// Non-null when this program opts into the batch gather path; the
+  /// engine then drains queued update runs through OnUpdateBatch instead
+  /// of per-update OnUpdate calls. See BatchVertexProgram.
+  virtual const class BatchVertexProgram* AsBatch() const { return nullptr; }
+};
+
+/// Opt-in extension: programs that can gather a *run* of queued updates
+/// for one vertex in a single pass over their state (the SoA batch
+/// kernels in src/kernel/). The engine only forms runs whose intermediate
+/// per-update prepare checks are provably no-ops (the vertex is already
+/// preparing, or is still waiting on producers), so draining through
+/// OnUpdateBatch is message-for-message identical to the per-update path
+/// — docs/KERNELS.md spells out the equivalence argument.
+class BatchVertexProgram : public VertexProgram {
+ public:
+  /// One queued update, exactly the OnUpdate argument triple. The pointed
+  /// -to update lives until OnUpdateBatch returns.
+  struct QueuedUpdate {
+    VertexId source;
+    Iteration iteration;
+    const VertexUpdate* update;
+  };
+
+  const BatchVertexProgram* AsBatch() const final { return this; }
+
+  /// Gathers `items[0..n)` in order. Returns whether any state changed
+  /// (the OR of what per-update OnUpdate calls would have returned).
+  ///
+  /// Cost contract: after applying each item (including any AddCost the
+  /// per-update path would make for it), the implementation must call
+  /// `ctx.AddCost(per_item_cost)` — this reproduces the per-update
+  /// accounting order bit-for-bit, which the deterministic virtual clock
+  /// depends on. The default implementation just replays OnUpdate.
+  ///
+  /// ctx.iteration() is the vertex's iteration after the whole run was
+  /// bookkept; implementations must not depend on it varying per item.
+  virtual bool OnUpdateBatch(VertexContext& ctx, const QueuedUpdate* items,
+                             size_t n, double per_item_cost) const {
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      if (OnUpdate(ctx, items[i].source, items[i].iteration,
+                   *items[i].update)) {
+        changed = true;
+      }
+      ctx.AddCost(per_item_cost);
+    }
+    return changed;
+  }
 };
 
 }  // namespace tornado

@@ -591,19 +591,91 @@ void ProtocolStateMachine::HandleTerminated(const TerminatedMsg& msg,
 }
 
 void ProtocolStateMachine::ReleaseBlocked(LoopState& ls, EngineActions* out) {
+  const BatchVertexProgram* batch_prog = config_->program->AsBatch();
   // Updates with iteration <= tau + B - 2 are now gatherable.
   while (!ls.blocked.empty() &&
          !policy_->ShouldBlock(ls.blocked.begin()->first, ls.tau)) {
     std::vector<BlockedUpdate> batch = std::move(ls.blocked.begin()->second);
     ls.blocked.erase(ls.blocked.begin());
-    for (BlockedUpdate& b : batch) {
+    size_t i = 0;
+    while (i < batch.size()) {
+      const BlockedUpdate& b = batch[i];
+      VertexSession& s = GetOrCreateVertex(ls, b.dst);
+      if (batch_prog != nullptr) {
+        i = GatherUpdateRun(ls, s, *batch_prog, batch, i, out);
+        continue;
+      }
       TCHECK_GE(ls.blocked_count, 1u);
       --ls.blocked_count;
       observer_->OnUnblocked(ls.loop, ls.epoch, b.dst, b.iteration);
-      VertexSession& s = GetOrCreateVertex(ls, b.dst);
       GatherUpdate(ls, s, b.src, b.iteration, b.update, out);
+      ++i;
     }
   }
+}
+
+size_t ProtocolStateMachine::GatherUpdateRun(
+    LoopState& ls, VertexSession& s, const BatchVertexProgram& prog,
+    const std::vector<BlockedUpdate>& batch, size_t i, EngineActions* out) {
+  // Deferring an update's gather is legal only while its post-bookkeeping
+  // MaybePrepare is provably a no-op irrespective of the dirty flag: the
+  // vertex is mid-prepare (update_time set) or still waiting on producers
+  // (prepare_list non-empty). OnUpdate can touch neither, so the whole
+  // run can be applied in one OnUpdateBatch pass with message-for-message
+  // identical behavior. The moment the condition fails — or the run ends
+  // — the accumulated items are flushed before anything can observe the
+  // deferred state.
+  std::vector<BatchVertexProgram::QueuedUpdate> run;
+  const double per_item_cost =
+      config_->cost.per_update_cpu + config_->program->GatherCost();
+  auto flush = [&]() {
+    if (run.empty()) return;
+    EngineContext ctx(EngineContext::Mode::kUpdate, ls.loop, s.iter, &s,
+                      &out->cost);
+    if (prog.OnUpdateBatch(ctx, run.data(), run.size(), per_item_cost)) {
+      s.dirty = true;
+    }
+    run.clear();
+  };
+  size_t consumed = i;
+  while (consumed < batch.size() && batch[consumed].dst == s.id) {
+    const BlockedUpdate& b = batch[consumed];
+    // Bookkeeping identical to the per-update path (GatherUpdate).
+    TCHECK_GE(ls.blocked_count, 1u);
+    --ls.blocked_count;
+    observer_->OnUnblocked(ls.loop, ls.epoch, b.dst, b.iteration);
+    ls.buckets[b.iteration].gathered++;
+    s.prepare_list.erase(b.src);
+    const bool deferrable =
+        s.update_time.has_value() || !s.prepare_list.empty();
+    if (b.update.kind == kNoopUpdateKind) {
+      s.iter = std::max({s.iter, b.iteration + 1, ls.tau});
+      if (!deferrable) {
+        flush();
+        MaybePrepare(ls, s, out);
+      }
+      ++consumed;
+      continue;
+    }
+    if (b.iteration < s.merge_floor) {
+      if (!deferrable) {
+        flush();
+        MaybePrepare(ls, s, out);
+      }
+      ++consumed;
+      continue;
+    }
+    s.iter = std::max({s.iter, b.iteration + 1, ls.tau});
+    run.push_back(
+        BatchVertexProgram::QueuedUpdate{b.src, b.iteration, &b.update});
+    ++consumed;
+    if (!deferrable) {
+      flush();
+      MaybePrepare(ls, s, out);
+    }
+  }
+  flush();
+  return consumed;
 }
 
 void ProtocolStateMachine::RetryStalled(LoopState& ls, EngineActions* out) {

@@ -1,0 +1,177 @@
+#ifndef TORNADO_KERNEL_FLAT_MAP_H_
+#define TORNADO_KERNEL_FLAT_MAP_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <utility>
+
+#include "kernel/small_vector.h"
+
+namespace tornado {
+
+/// Sorted struct-of-arrays map: keys and values live in two parallel
+/// inline-small-buffer arrays kept in ascending key order. It is the
+/// std::map replacement for per-vertex state (contributions, adjacency,
+/// last-sent caches):
+///
+///  - iteration order is ascending by key — exactly std::map's — so every
+///    Serialize() loop emits the same bytes as before the migration;
+///  - values() is one contiguous double (or struct) run, which is what the
+///    SIMD batch kernels (kernel/kernels.h) reduce over;
+///  - the inline buffers make the common small-degree vertex
+///    allocation-free.
+///
+/// Lookups are binary searches (log n over a cache-resident array);
+/// inserts shift the tail, which beats node allocation up to the degrees
+/// the iterative workloads see. See docs/KERNELS.md for the layout and
+/// determinism argument.
+template <typename K, typename V, size_t N = 4>
+class FlatMap {
+ public:
+  /// Reference view of one entry, shaped like std::map's value_type so
+  /// `it->second` and `for (const auto& [k, v] : map)` keep working.
+  struct Ref {
+    const K& first;
+    V& second;
+    Ref* operator->() { return this; }
+  };
+  struct ConstRef {
+    const K& first;
+    const V& second;
+    ConstRef* operator->() { return this; }
+  };
+
+  template <typename MapT, typename RefT>
+  class Iter {
+   public:
+    Iter() = default;
+    Iter(MapT* m, size_t i) : map_(m), index_(i) {}
+    RefT operator*() const {
+      return RefT{map_->keys_[index_], map_->values_[index_]};
+    }
+    RefT operator->() const { return **this; }
+    Iter& operator++() {
+      ++index_;
+      return *this;
+    }
+    Iter operator++(int) {
+      Iter old = *this;
+      ++index_;
+      return old;
+    }
+    friend bool operator==(const Iter& a, const Iter& b) {
+      return a.index_ == b.index_;
+    }
+    friend bool operator!=(const Iter& a, const Iter& b) {
+      return a.index_ != b.index_;
+    }
+    size_t index() const { return index_; }
+
+   private:
+    MapT* map_ = nullptr;
+    size_t index_ = 0;
+  };
+
+  using iterator = Iter<FlatMap, Ref>;
+  using const_iterator = Iter<const FlatMap, ConstRef>;
+
+  size_t size() const { return keys_.size(); }
+  bool empty() const { return keys_.empty(); }
+  void clear() {
+    keys_.clear();
+    values_.clear();
+  }
+
+  iterator begin() { return iterator(this, 0); }
+  iterator end() { return iterator(this, keys_.size()); }
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, keys_.size()); }
+
+  iterator find(const K& k) {
+    const size_t i = LowerBound(k);
+    if (i < keys_.size() && keys_[i] == k) return iterator(this, i);
+    return end();
+  }
+  const_iterator find(const K& k) const {
+    const size_t i = LowerBound(k);
+    if (i < keys_.size() && keys_[i] == k) return const_iterator(this, i);
+    return end();
+  }
+
+  bool contains(const K& k) const { return find(k) != end(); }
+  size_t count(const K& k) const { return contains(k) ? 1 : 0; }
+
+  V& operator[](const K& k) {
+    const size_t i = LowerBound(k);
+    if (i < keys_.size() && keys_[i] == k) return values_[i];
+    keys_.insert(keys_.begin() + i, k);
+    values_.insert(values_.begin() + i, V());
+    return values_[i];
+  }
+
+  /// std::map::at-shaped checked lookup; the key must be present.
+  V& at(const K& k) {
+    const size_t i = LowerBound(k);
+    assert(i < keys_.size() && keys_[i] == k);
+    return values_[i];
+  }
+  const V& at(const K& k) const {
+    const size_t i = LowerBound(k);
+    assert(i < keys_.size() && keys_[i] == k);
+    return values_[i];
+  }
+
+  V& at_index(size_t i) { return values_[i]; }
+  const V& at_index(size_t i) const { return values_[i]; }
+  const K& key_at(size_t i) const { return keys_[i]; }
+
+  /// std::map::emplace-shaped upsert probe: inserts `{k, v}` when absent.
+  std::pair<iterator, bool> emplace(const K& k, V v) {
+    const size_t i = LowerBound(k);
+    if (i < keys_.size() && keys_[i] == k) return {iterator(this, i), false};
+    keys_.insert(keys_.begin() + i, k);
+    values_.insert(values_.begin() + i, std::move(v));
+    return {iterator(this, i), true};
+  }
+
+  size_t erase(const K& k) {
+    const size_t i = LowerBound(k);
+    if (i >= keys_.size() || !(keys_[i] == k)) return 0;
+    keys_.erase(keys_.begin() + i);
+    values_.erase(values_.begin() + i);
+    return 1;
+  }
+
+  iterator erase(iterator pos) {
+    keys_.erase(keys_.begin() + pos.index());
+    values_.erase(values_.begin() + pos.index());
+    return iterator(this, pos.index());
+  }
+
+  /// The SoA seams the batch kernels reduce over: parallel sorted runs.
+  const K* keys_data() const { return keys_.data(); }
+  V* values_data() { return values_.data(); }
+  const V* values_data() const { return values_.data(); }
+
+  friend bool operator==(const FlatMap& a, const FlatMap& b) {
+    return a.keys_ == b.keys_ && a.values_ == b.values_;
+  }
+  friend bool operator!=(const FlatMap& a, const FlatMap& b) {
+    return !(a == b);
+  }
+
+ private:
+  size_t LowerBound(const K& k) const {
+    const K* lo = keys_.begin();
+    const K* hi = keys_.end();
+    return static_cast<size_t>(std::lower_bound(lo, hi, k) - lo);
+  }
+
+  SmallVector<K, N> keys_;
+  SmallVector<V, N> values_;
+};
+
+}  // namespace tornado
+
+#endif  // TORNADO_KERNEL_FLAT_MAP_H_

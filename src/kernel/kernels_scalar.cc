@@ -1,0 +1,10 @@
+// Scalar kernel variant: the portable fallback and the determinism
+// reference every SIMD variant must match bit-for-bit.
+#define TORNADO_SIMD_LEVEL 0
+#define TORNADO_SIMD_NS vec_scalar
+#define TORNADO_KERNEL_TABLE kScalarKernels
+#define TORNADO_KERNEL_NAME "scalar"
+
+#include "kernel/simd_vec.h"
+
+#include "kernel/kernels_body.inc"

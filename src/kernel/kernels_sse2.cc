@@ -1,0 +1,16 @@
+// SSE2 kernel variant (x86-64 baseline). Compiled with -msse2 and
+// -ffp-contract=off; selected by kernel/dispatch.cc when the host
+// supports it. On non-x86 builds this TU compiles to nothing and the
+// dispatcher never offers the variant.
+#if defined(__x86_64__) || defined(_M_X64)
+
+#define TORNADO_SIMD_LEVEL 1
+#define TORNADO_SIMD_NS vec_sse2
+#define TORNADO_KERNEL_TABLE kSse2Kernels
+#define TORNADO_KERNEL_NAME "sse2"
+
+#include "kernel/simd_vec.h"
+
+#include "kernel/kernels_body.inc"
+
+#endif  // x86-64

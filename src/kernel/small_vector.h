@@ -1,0 +1,200 @@
+#ifndef TORNADO_KERNEL_SMALL_VECTOR_H_
+#define TORNADO_KERNEL_SMALL_VECTOR_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace tornado {
+
+/// Vector with an inline buffer for the first `N` elements; it spills to
+/// the heap only beyond that. Vertex fan-in/fan-out in the iterative
+/// workloads is overwhelmingly small, so the inline buffer keeps the
+/// per-vertex SoA arrays (adjacency, contributions, last-sent values)
+/// allocation-free and cache-resident. See docs/KERNELS.md.
+///
+/// Iterators are plain `T*` over one contiguous run — exactly the layout
+/// the batch kernels (kernel/kernels.h) reduce over.
+template <typename T, size_t N = 4>
+class SmallVector {
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVector() = default;
+
+  SmallVector(std::initializer_list<T> init) {
+    reserve(init.size());
+    for (const T& v : init) push_back(v);
+  }
+
+  SmallVector(const SmallVector& other) {
+    reserve(other.size_);
+    for (size_t i = 0; i < other.size_; ++i) push_back(other.data_[i]);
+  }
+
+  SmallVector(SmallVector&& other) noexcept { MoveFrom(std::move(other)); }
+
+  SmallVector& operator=(const SmallVector& other) {
+    if (this == &other) return *this;
+    clear();
+    reserve(other.size_);
+    for (size_t i = 0; i < other.size_; ++i) push_back(other.data_[i]);
+    return *this;
+  }
+
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this == &other) return *this;
+    Release();
+    MoveFrom(std::move(other));
+    return *this;
+  }
+
+  SmallVector& operator=(std::initializer_list<T> init) {
+    clear();
+    reserve(init.size());
+    for (const T& v : init) push_back(v);
+    return *this;
+  }
+
+  ~SmallVector() { Release(); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return capacity_; }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  iterator begin() { return data_; }
+  iterator end() { return data_ + size_; }
+  const_iterator begin() const { return data_; }
+  const_iterator end() const { return data_ + size_; }
+
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  T& front() { return data_[0]; }
+  const T& front() const { return data_[0]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  void reserve(size_t want) {
+    if (want <= capacity_) return;
+    Grow(want);
+  }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) Grow(capacity_ * 2);
+    T* slot = data_ + size_;
+    ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  void pop_back() {
+    --size_;
+    data_[size_].~T();
+  }
+
+  void clear() {
+    for (size_t i = size_; i > 0; --i) data_[i - 1].~T();
+    size_ = 0;
+  }
+
+  void resize(size_t n) {
+    while (size_ > n) pop_back();
+    reserve(n);
+    while (size_ < n) emplace_back();
+  }
+
+  /// Shifts the tail left over `pos`; returns the iterator at `pos`.
+  iterator erase(iterator pos) {
+    for (T* p = pos; p + 1 != end(); ++p) *p = std::move(*(p + 1));
+    pop_back();
+    return pos;
+  }
+
+  /// Shifts the tail right and constructs `v` at `pos` (which may equal
+  /// end()); returns the iterator at the inserted element.
+  iterator insert(iterator pos, T v) {
+    const size_t at = static_cast<size_t>(pos - data_);
+    emplace_back(std::move(v));  // may reallocate; re-derive the position
+    for (size_t i = size_ - 1; i > at; --i) {
+      using std::swap;
+      swap(data_[i - 1], data_[i]);
+    }
+    return data_ + at;
+  }
+
+  friend bool operator==(const SmallVector& a, const SmallVector& b) {
+    if (a.size_ != b.size_) return false;
+    for (size_t i = 0; i < a.size_; ++i) {
+      if (!(a.data_[i] == b.data_[i])) return false;
+    }
+    return true;
+  }
+  friend bool operator!=(const SmallVector& a, const SmallVector& b) {
+    return !(a == b);
+  }
+
+ private:
+  bool IsInline() const {
+    return data_ == reinterpret_cast<const T*>(inline_buf_);
+  }
+
+  void Grow(size_t want) {
+    const size_t cap = std::max(want, std::max<size_t>(N * 2, 8));
+    T* heap = static_cast<T*>(::operator new(cap * sizeof(T)));
+    for (size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(heap + i)) T(std::move(data_[i]));
+      data_[i].~T();
+    }
+    if (!IsInline()) ::operator delete(static_cast<void*>(data_));
+    data_ = heap;
+    capacity_ = cap;
+  }
+
+  /// Destroys elements and frees the heap block; leaves members stale
+  /// (callers reset or are the destructor).
+  void Release() {
+    clear();
+    if (!IsInline()) ::operator delete(static_cast<void*>(data_));
+  }
+
+  void MoveFrom(SmallVector&& other) noexcept {
+    if (other.IsInline()) {
+      data_ = reinterpret_cast<T*>(inline_buf_);
+      capacity_ = N;
+      size_ = 0;
+      for (size_t i = 0; i < other.size_; ++i) {
+        ::new (static_cast<void*>(data_ + i)) T(std::move(other.data_[i]));
+        ++size_;
+      }
+      other.clear();
+    } else {
+      data_ = other.data_;
+      size_ = other.size_;
+      capacity_ = other.capacity_;
+      other.data_ = reinterpret_cast<T*>(other.inline_buf_);
+      other.size_ = 0;
+      other.capacity_ = N;
+    }
+  }
+
+  alignas(T) unsigned char inline_buf_[N * sizeof(T)];
+  T* data_ = reinterpret_cast<T*>(inline_buf_);
+  size_t size_ = 0;
+  size_t capacity_ = N;
+};
+
+}  // namespace tornado
+
+#endif  // TORNADO_KERNEL_SMALL_VECTOR_H_

@@ -1,0 +1,15 @@
+// KER-001 fixture: node-per-entry containers inside the kernel layer.
+// The path contains "kernel/" the same way src/kernel/ does.
+#include <map>
+#include <unordered_map>
+
+namespace fixture {
+
+struct KernelState {
+  std::map<unsigned long, double> contributions;            // fires
+  std::unordered_map<unsigned long, double> scratch;        // fires
+  // NOLINTNEXTLINE(KER-001): fixture exercising the suppression path.
+  std::map<unsigned long, double> suppressed_contributions;
+};
+
+}  // namespace fixture

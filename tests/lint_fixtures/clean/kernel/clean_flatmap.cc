@@ -1,0 +1,11 @@
+// KER-001 clean fixture: kernel-layer state held in the SoA containers.
+namespace fixture {
+
+template <typename K, typename V, unsigned N>
+class FlatMap {};
+
+struct KernelState {
+  FlatMap<unsigned long, double, 8> contributions;
+};
+
+}  // namespace fixture

@@ -68,7 +68,7 @@ TEST(LintTest, EveryRuleFiresOnItsFixture) {
   ASSERT_EQ(run.exit_code, 1) << run.output;
   for (const char* rule :
        {"DET-001", "DET-002", "DET-003", "DET-004", "SER-001", "RUN-001",
-        "CON-001", "CON-002", "CON-003"}) {
+        "CON-001", "CON-002", "CON-003", "KER-001"}) {
     EXPECT_GE(CountFindings(run.output, rule, /*suppressed=*/false), 1)
         << rule << " did not fire:\n" << run.output;
   }
@@ -78,7 +78,8 @@ TEST(LintTest, NolintWithReasonSuppresses) {
   const LintRun run = RunLint("--json " + Fixtures());
   ASSERT_EQ(run.exit_code, 1) << run.output;
   for (const char* rule : {"DET-001", "DET-002", "DET-003", "DET-004",
-                           "RUN-001", "CON-001", "CON-002", "CON-003"}) {
+                           "RUN-001", "CON-001", "CON-002", "CON-003",
+                           "KER-001"}) {
     EXPECT_GE(CountFindings(run.output, rule, /*suppressed=*/true), 1)
         << rule << " suppression fixture not honored:\n" << run.output;
   }
@@ -106,7 +107,7 @@ TEST(LintTest, ConFixturesAreRulePure) {
         << c.file << ":\n" << run.output;
     for (const char* other : {"DET-001", "DET-002", "DET-003", "DET-004",
                               "SER-001", "RUN-001", "CON-001", "CON-002",
-                              "CON-003"}) {
+                              "CON-003", "KER-001"}) {
       if (std::string(other) == c.rule) continue;
       EXPECT_EQ(CountFindings(run.output, other, /*suppressed=*/false), 0)
           << c.file << " unexpectedly fired " << other << ":\n"
@@ -147,6 +148,37 @@ TEST(LintTest, Det002CoversScenarioSubsystemPaths) {
       RunLint("--json " + Fixtures("bad/scenario/det002_fuzz_rng.cc"));
   ASSERT_EQ(run.exit_code, 1) << run.output;
   EXPECT_GE(CountFindings(run.output, "DET-002", /*suppressed=*/false), 2)
+      << run.output;
+}
+
+// KER-001's two halves: node containers in kernel-layer C++, and
+// fast-math flags in CMake listfiles (live flags fire, commented-out
+// flags do not).
+TEST(LintTest, Ker001FlagsKernelMapsAndFastMath) {
+  const LintRun cc = RunLint("--json " + Fixtures("bad/kernel/ker001_map.cc"));
+  ASSERT_EQ(cc.exit_code, 1) << cc.output;
+  EXPECT_EQ(CountFindings(cc.output, "KER-001", /*suppressed=*/false), 2)
+      << cc.output;
+  EXPECT_EQ(CountFindings(cc.output, "KER-001", /*suppressed=*/true), 1)
+      << cc.output;
+
+  const LintRun cmake =
+      RunLint("--json " + Fixtures("bad/kernel/CMakeLists.txt"));
+  ASSERT_EQ(cmake.exit_code, 1) << cmake.output;
+  // One -ffast-math and one -funsafe-math-optimizations; the flag in a
+  // `#` comment must not count.
+  EXPECT_EQ(CountFindings(cmake.output, "KER-001", /*suppressed=*/false), 2)
+      << cmake.output;
+  EXPECT_NE(cmake.output.find("bit-identical"), std::string::npos)
+      << cmake.output;
+}
+
+// A node container outside kernel/ paths is DET/CON territory, not
+// KER-001's — the rule must stay scoped to the SoA layer.
+TEST(LintTest, Ker001IgnoresMapsOutsideKernelPaths) {
+  const LintRun run = RunLint("--json " + Fixtures("bad/det004_ptrkey.cc"));
+  ASSERT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_EQ(CountFindings(run.output, "KER-001", /*suppressed=*/false), 0)
       << run.output;
 }
 

@@ -112,7 +112,8 @@ TEST(SsspUnitTest, GatherUpdateDetectsChange) {
   EXPECT_FALSE(program.OnUpdate(ctx, 1, 1, update));  // identical
   update.values = {3.0};
   EXPECT_TRUE(program.OnUpdate(ctx, 1, 2, update));  // improved
-  EXPECT_EQ(static_cast<SsspState&>(*state).length, 3.0);
+  // The min re-reduction is memoized; EnsureLength is what Scatter calls.
+  EXPECT_EQ(static_cast<SsspState&>(*state).EnsureLength(false), 3.0);
 }
 
 TEST(SsspUnitTest, InfinityRetractsCandidate) {
@@ -124,7 +125,7 @@ TEST(SsspUnitTest, InfinityRetractsCandidate) {
   program.OnUpdate(ctx, 1, 0, update);
   update.values = {kSsspInfinity};
   EXPECT_TRUE(program.OnUpdate(ctx, 1, 1, update));
-  EXPECT_EQ(static_cast<SsspState&>(*state).length, kSsspInfinity);
+  EXPECT_EQ(static_cast<SsspState&>(*state).EnsureLength(false), kSsspInfinity);
   EXPECT_FALSE(program.OnUpdate(ctx, 1, 2, update));  // already gone
 }
 
@@ -249,10 +250,11 @@ TEST(PageRankUnitTest, RankFollowsContributions) {
   update.values = {1.0};
   EXPECT_TRUE(program.OnUpdate(ctx, 2, 0, update));
   auto& pr = static_cast<PageRankState&>(*state);
-  EXPECT_NEAR(pr.rank, 0.15 + 0.85 * 1.0, 1e-12);
+  // The re-sum is memoized; EnsureRank is what Scatter calls.
+  EXPECT_NEAR(pr.EnsureRank(0.85), 0.15 + 0.85 * 1.0, 1e-12);
   update.values = {0.0};  // retraction
   EXPECT_TRUE(program.OnUpdate(ctx, 2, 1, update));
-  EXPECT_NEAR(pr.rank, 0.15, 1e-12);
+  EXPECT_NEAR(pr.EnsureRank(0.85), 0.15, 1e-12);
 }
 
 TEST(PageRankUnitTest, ContributionSplitsByParallelEdgeCount) {

@@ -33,6 +33,12 @@
 //   CON-003  detached threads / raw std::this_thread sleeps outside the
 //            substrate — lifetimes belong to the substrate's join logic,
 //            waits belong to its scheduler
+//   KER-001  node-per-entry std::map / std::unordered_map inside the
+//            kernel layer (src/kernel/ is the SoA substrate — hot state
+//            lives in FlatMap/SmallVector), or a value-changing math
+//            flag (-ffast-math, -funsafe-math-optimizations) in a CMake
+//            file — either would break the bit-identical reduction
+//            contract the kernels are built on
 //
 // Each rule carries a severity: `error` findings fail the build (exit 1),
 // `warning` findings are reported but do not gate.
@@ -120,6 +126,12 @@ const RuleInfo kRules[] = {
      "detached thread or raw sleep outside the substrate",
      "join through the substrate's Stop path; replace sleeps with "
      "Scheduler::ScheduleAfter or Substrate::RunFor"},
+    {"KER-001", "error",
+     "node-per-entry container or value-changing math flag in the kernel "
+     "layer",
+     "use kernel/flat_map.h / kernel/small_vector.h for kernel state; "
+     "never compile with -ffast-math — the canonical reductions must stay "
+     "bit-identical across scalar/SSE2/AVX2"},
 };
 
 const RuleInfo* FindRule(const std::string& id) {
@@ -848,6 +860,51 @@ void CheckGuardedFields(const SourceFile& f, Linter* lint) {
   }
 }
 
+// --- KER-001: SoA discipline and math-flag safety in the kernel layer. ---
+
+// CMake listfiles ride along in the scan solely for this rule; the C++
+// token checks never run on them.
+bool IsCMakeFile(const std::string& path) {
+  const fs::path p(path);
+  return p.filename() == "CMakeLists.txt" || p.extension() == ".cmake";
+}
+
+void CheckKernelHygiene(const SourceFile& f, Linter* lint) {
+  if (IsCMakeFile(f.path)) {
+    // Any -ffast-math family flag anywhere in the build breaks the
+    // bit-identical reduction contract (it licenses the compiler to
+    // reassociate the canonical lane order away).
+    static const char* kBannedFlags[] = {"-ffast-math",
+                                         "-funsafe-math-optimizations"};
+    for (size_t i = 0; i < f.raw_lines.size(); ++i) {
+      const std::string& line = f.raw_lines[i];
+      const size_t comment = line.find('#');
+      for (const char* flag : kBannedFlags) {
+        const size_t at = line.find(flag);
+        if (at == std::string::npos) continue;
+        if (comment != std::string::npos && comment < at) continue;
+        lint->Report(f, f.line_starts[i], "KER-001",
+                     std::string(flag) + " licenses value-changing FP "
+                     "reassociation; the kernel reductions must stay "
+                     "bit-identical across SIMD variants");
+      }
+    }
+    return;
+  }
+  // The kernel layer is the SoA substrate: per-entry node containers
+  // there defeat the contiguous value arrays the batch kernels consume.
+  if (f.path.find("kernel/") == std::string::npos) return;
+  for (const char* type : {"map", "unordered_map"}) {
+    for (size_t pos : FindWord(f.code, type)) {
+      if (!QualifiedByStd(f.code, pos)) continue;
+      lint->Report(f, pos, "KER-001",
+                   "std::" + std::string(type) + " in the kernel layer "
+                   "allocates a node per entry; kernel state must stay "
+                   "struct-of-arrays");
+    }
+  }
+}
+
 // --- SER-001: serde registry coverage. ---
 
 void CheckSerdeRegistry(const std::vector<SourceFile>& files, Linter* lint) {
@@ -915,7 +972,11 @@ void CollectPaths(const std::string& root, std::vector<std::string>* out) {
   if (!fs::is_directory(p)) return;
   for (const auto& entry : fs::recursive_directory_iterator(p)) {
     if (!entry.is_regular_file()) continue;
-    if (kExts.count(entry.path().extension().string()) == 0) continue;
+    // CMake listfiles are scanned by KER-001 only (math-flag audit).
+    if (kExts.count(entry.path().extension().string()) == 0 &&
+        !IsCMakeFile(entry.path().generic_string())) {
+      continue;
+    }
     out->push_back(entry.path().generic_string());
   }
 }
@@ -1034,6 +1095,8 @@ int main(int argc, char** argv) {
   Linter lint;
   const std::set<std::string> unordered = CollectUnorderedSymbols(files);
   for (const SourceFile& f : files) {
+    CheckKernelHygiene(f, &lint);
+    if (IsCMakeFile(f.path)) continue;  // only KER-001 reads listfiles
     CheckWallClock(f, &lint);
     CheckRandom(f, &lint);
     CheckUnorderedIteration(f, unordered, &lint);
